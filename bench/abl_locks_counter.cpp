@@ -1,0 +1,47 @@
+// Ablation A3: classic locks vs the delegation/combining approaches on the
+// contended counter (the Section 3 motivation). Locks execute the CS at the
+// acquiring core, so the counter line ping-pongs between cores — even the
+// O(1)-RMR queue locks (MCS/CLH) pay data-movement RMRs inside the CS that
+// the server/combiner approaches avoid.
+#include <cstdio>
+#include <vector>
+
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+
+using namespace hmps;
+using harness::Approach;
+
+int main(int argc, char** argv) {
+  const auto args = harness::BenchArgs::parse(argc, argv);
+
+  std::vector<std::uint32_t> threads =
+      args.full ? std::vector<std::uint32_t>{1, 2, 5, 10, 15, 20, 25, 30, 35}
+                : std::vector<std::uint32_t>{1, 5, 15, 35};
+  if (args.threads) threads = {args.threads};
+
+  const Approach order[] = {Approach::kMpServer,   Approach::kHybComb,
+                            Approach::kMcsLock,    Approach::kClhLock,
+                            Approach::kTicketLock, Approach::kTtasLock,
+                            Approach::kTasLock};
+
+  harness::Table table({"threads", "mp-server", "HybComb", "mcs", "clh",
+                        "ticket", "ttas", "tas"});
+  for (std::uint32_t t : threads) {
+    harness::RunCfg cfg;
+    cfg.app_threads = t;
+    cfg.seed = args.seed;
+    if (args.window) cfg.window = args.window;
+    if (args.reps) cfg.reps = args.reps;
+    std::vector<std::string> row{std::to_string(t)};
+    for (Approach a : order) {
+      row.push_back(harness::fmt(harness::run_counter(cfg, a).mops));
+    }
+    table.add_row(row);
+    std::fprintf(stderr, "[abl-locks] threads=%u done\n", t);
+  }
+  table.print("Ablation A3: classic locks vs delegation on the counter "
+              "(Mops/s)");
+  if (!args.csv.empty()) table.write_csv(args.csv);
+  return 0;
+}

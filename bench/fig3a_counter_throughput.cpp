@@ -1,0 +1,50 @@
+// Reproduces Fig. 3a: throughput of a concurrent counter implemented with
+// mp-server, HybComb, shm-server and CC-Synch, as a function of the number
+// of application threads.
+//
+// Expected shape (paper, Section 5.3): MP-SERVER fastest at every
+// concurrency level, peaking ~4.3x above SHM-SERVER; HYBCOMB second,
+// ~2.5x above CC-SYNCH at high concurrency; CC-SYNCH and SHM-SERVER
+// closely matched.
+#include <cstdio>
+#include <vector>
+
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+
+using namespace hmps;
+using harness::Approach;
+
+int main(int argc, char** argv) {
+  const auto args = harness::BenchArgs::parse(argc, argv);
+
+  std::vector<std::uint32_t> threads =
+      args.full ? std::vector<std::uint32_t>{1, 2, 4, 6, 8, 10, 12, 14, 16,
+                                             18, 20, 22, 24, 26, 28, 30, 32,
+                                             34, 35}
+                : std::vector<std::uint32_t>{1, 5, 10, 15, 20, 25, 30, 35};
+  if (args.threads) threads = {args.threads};
+
+  const Approach order[] = {Approach::kMpServer, Approach::kHybComb,
+                            Approach::kShmServer, Approach::kCcSynch};
+
+  harness::Table table({"threads", "mp-server", "HybComb", "shm-server",
+                        "CC-Synch"});
+  for (std::uint32_t t : threads) {
+    harness::RunCfg cfg;
+    cfg.app_threads = t;
+    cfg.seed = args.seed;
+    if (args.window) cfg.window = args.window;
+    if (args.reps) cfg.reps = args.reps;
+    std::vector<std::string> row{std::to_string(t)};
+    for (Approach a : order) {
+      const auto r = harness::run_counter(cfg, a);
+      row.push_back(harness::fmt(r.mops));
+    }
+    table.add_row(row);
+    std::fprintf(stderr, "[fig3a] threads=%u done\n", t);
+  }
+  table.print("Fig. 3a: counter throughput (Mops/s) vs application threads");
+  if (!args.csv.empty()) table.write_csv(args.csv);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Fig. 3c: maximum achievable counter throughput as a function
+// of the allowed combining rate (MAX_OPS), at full concurrency.
+//
+// Expected shape: CC-SYNCH gains little beyond moderate MAX_OPS values,
+// while HYBCOMB keeps improving toward very large MAX_OPS (combining is so
+// fast that combiner switching stays visible), approaching MP-SERVER's
+// throughput. MP-SERVER/SHM-SERVER are flat references (no combining).
+#include <cstdio>
+#include <vector>
+
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+
+using namespace hmps;
+using harness::Approach;
+
+int main(int argc, char** argv) {
+  const auto args = harness::BenchArgs::parse(argc, argv);
+  const std::uint32_t nthreads = args.threads ? args.threads : 35;
+
+  std::vector<std::uint64_t> maxops =
+      args.full ? std::vector<std::uint64_t>{1, 2, 5, 10, 20, 50, 100, 200,
+                                             500, 1000, 2000, 5000}
+                : std::vector<std::uint64_t>{1, 10, 50, 200, 1000, 5000};
+
+  harness::Table table({"max_ops", "HybComb", "CC-Synch", "mp-server(ref)",
+                        "shm-server(ref)"});
+
+  harness::RunCfg base;
+  base.app_threads = nthreads;
+  base.seed = args.seed;
+  if (args.window) base.window = args.window;
+  if (args.reps) base.reps = args.reps;
+
+  const double mp_ref = harness::run_counter(base, Approach::kMpServer).mops;
+  const double shm_ref =
+      harness::run_counter(base, Approach::kShmServer).mops;
+
+  for (std::uint64_t m : maxops) {
+    harness::RunCfg cfg = base;
+    cfg.max_ops = m;
+    const auto hyb = harness::run_counter(cfg, Approach::kHybComb);
+    const auto cc = harness::run_counter(cfg, Approach::kCcSynch);
+    table.add_row({std::to_string(m), harness::fmt(hyb.mops),
+                   harness::fmt(cc.mops), harness::fmt(mp_ref),
+                   harness::fmt(shm_ref)});
+    std::fprintf(stderr, "[fig3c] max_ops=%llu done\n",
+                 static_cast<unsigned long long>(m));
+  }
+  table.print("Fig. 3c: peak throughput (Mops/s) vs MAX_OPS, " +
+              std::to_string(nthreads) + " threads");
+  if (!args.csv.empty()) table.write_csv(args.csv);
+  return 0;
+}

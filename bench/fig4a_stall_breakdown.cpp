@@ -1,0 +1,47 @@
+// Reproduces Fig. 4a: stalled vs total CPU cycles per operation at the
+// servicing thread, under maximum load (35 application threads).
+//
+// Following the paper's footnote 4, the combining algorithms run with a
+// fixed combiner for the whole run (equivalent to MAX_OPS = infinity) so
+// that one core's counters capture the servicing thread.
+//
+// Expected shape: the message-passing approaches (mp-server, HybComb) show
+// a virtually unstalled servicing thread; the shared-memory approaches
+// (shm-server, CC-Synch) spend >50% of their cycles stalled on coherence.
+#include <cstdio>
+
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+
+using namespace hmps;
+using harness::Approach;
+
+int main(int argc, char** argv) {
+  const auto args = harness::BenchArgs::parse(argc, argv);
+
+  harness::Table table(
+      {"approach", "stalled(cyc/op)", "total(cyc/op)", "stall_share"});
+  const Approach order[] = {Approach::kMpServer, Approach::kHybComb,
+                            Approach::kShmServer, Approach::kCcSynch};
+  for (Approach a : order) {
+    harness::RunCfg cfg;
+    cfg.app_threads = args.threads ? args.threads : 35;
+    cfg.seed = args.seed;
+    if (args.window) cfg.window = args.window;
+    if (args.reps) cfg.reps = args.reps;
+    cfg.fixed_combiner =
+        (a == Approach::kHybComb || a == Approach::kCcSynch);
+    const auto r = harness::run_counter(cfg, a);
+    table.add_row({harness::approach_name(a),
+                   harness::fmt(r.serv_stall_per_op, 1),
+                   harness::fmt(r.serv_total_per_op, 1),
+                   harness::fmt(r.serv_total_per_op > 0
+                                    ? r.serv_stall_per_op / r.serv_total_per_op
+                                    : 0,
+                                2)});
+    std::fprintf(stderr, "[fig4a] %s done\n", harness::approach_name(a));
+  }
+  table.print("Fig. 4a: CPU stalls at the servicing thread (max load)");
+  if (!args.csv.empty()) table.write_csv(args.csv);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Fig. 4c: average CS execution cost vs CS length (an
+// array-increment loop; one increment per iteration), 35 threads.
+//
+// Expected shape: MP-SERVER/HYBCOMB overheads over the "ideal" line (the CS
+// body alone) stay constant; SHM-SERVER/CC-SYNCH overheads start ~30 cycles
+// higher and shrink as the CS grows, because the coherence RMRs overlap
+// with CS execution — the gap between best and worst drops to ~10% at 15
+// iterations.
+//
+// --no-prefetch additionally reruns the sweep with software prefetching
+// disabled (ablation A4 of DESIGN.md: the overlap mechanism).
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+
+using namespace hmps;
+using harness::Approach;
+
+namespace {
+
+void sweep(const harness::BenchArgs& args, bool prefetch) {
+  std::vector<std::uint64_t> lens =
+      args.full ? std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5, 6, 8, 10, 12,
+                                             14, 15}
+                : std::vector<std::uint64_t>{0, 2, 5, 10, 15};
+
+  harness::Table table({"cs_iters", "mp-server", "HybComb", "shm-server",
+                        "CC-Synch", "ideal"});
+  const Approach order[] = {Approach::kMpServer, Approach::kHybComb,
+                            Approach::kShmServer, Approach::kCcSynch};
+  for (std::uint64_t len : lens) {
+    harness::RunCfg cfg;
+    cfg.app_threads = args.threads ? args.threads : 35;
+    cfg.seed = args.seed;
+    cfg.cs_iters = len;
+    cfg.machine.allow_prefetch = prefetch;
+    if (args.window) cfg.window = args.window;
+    if (args.reps) cfg.reps = args.reps;
+    std::vector<std::string> row{std::to_string(len)};
+    for (Approach a : order) {
+      const auto r = harness::run_counter(cfg, a);
+      // Average CS execution time = aggregate cycles per op at saturation.
+      row.push_back(harness::fmt(r.cycles_per_op, 1));
+    }
+    row.push_back(harness::fmt(harness::ideal_cs_cycles(cfg), 1));
+    table.add_row(row);
+    std::fprintf(stderr, "[fig4c] cs_iters=%llu (prefetch=%d) done\n",
+                 static_cast<unsigned long long>(len), prefetch ? 1 : 0);
+  }
+  table.print(std::string("Fig. 4c: cycles per CS execution vs CS length") +
+              (prefetch ? "" : " [no-prefetch ablation]"));
+  if (!args.csv.empty()) {
+    table.write_csv(prefetch ? args.csv : args.csv + ".noprefetch");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = harness::BenchArgs::parse(argc, argv);
+  bool ablation = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-prefetch") == 0) ablation = true;
+  }
+  sweep(args, /*prefetch=*/true);
+  if (ablation || args.full) sweep(args, /*prefetch=*/false);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Fig. 5b: throughput of concurrent stacks under balanced load.
+//
+//   X        coarse-lock sequential stack made concurrent with approach X
+//   Treiber  the classic nonblocking stack (CAS on top)
+//
+// Expected shape: mp-server and HybComb stacks lead, nearly matching the
+// one-lock queue numbers of Fig. 5a (both are coarse-locked linked lists);
+// Treiber trails every blocking implementation, as contended CAS retries on
+// the top pointer dominate.
+#include <cstdio>
+#include <vector>
+
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+
+using namespace hmps;
+using harness::StackImpl;
+
+int main(int argc, char** argv) {
+  const auto args = harness::BenchArgs::parse(argc, argv);
+
+  std::vector<std::uint32_t> threads =
+      args.full ? std::vector<std::uint32_t>{1, 2, 4, 6, 8, 10, 12, 14, 16,
+                                             18, 20, 22, 24, 26, 28, 30, 32,
+                                             34}
+                : std::vector<std::uint32_t>{1, 5, 10, 15, 20, 25, 30, 34};
+  if (args.threads) threads = {args.threads};
+
+  const StackImpl order[] = {StackImpl::kMp, StackImpl::kHyb, StackImpl::kShm,
+                             StackImpl::kCc, StackImpl::kTreiber};
+
+  harness::Table table({"clients", "mp-server", "HybComb", "shm-server",
+                        "CC-Synch", "Treiber"});
+  for (std::uint32_t t : threads) {
+    harness::RunCfg cfg;
+    cfg.app_threads = t;
+    cfg.seed = args.seed;
+    if (args.window) cfg.window = args.window;
+    if (args.reps) cfg.reps = args.reps;
+    std::vector<std::string> row{std::to_string(t)};
+    for (StackImpl s : order) {
+      const auto r = harness::run_stack(cfg, s);
+      row.push_back(harness::fmt(r.mops));
+    }
+    table.add_row(row);
+    std::fprintf(stderr, "[fig5b] clients=%u done\n", t);
+  }
+  table.print("Fig. 5b: stack throughput (Mops/s) under balanced load");
+  if (!args.csv.empty()) table.write_csv(args.csv);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Native (real-hardware) micro-benchmarks via google-benchmark: the cost of
+// the primitives the algorithms are built from, on the host machine.
+// Complements the simulator benches — these are the "message passing
+// emulated over shared memory" costs the paper contrasts with hardware
+// messaging. Single-threaded variants only, since this container exposes
+// one hardware thread.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "ds/counter.hpp"
+#include "ds/lcrq.hpp"
+#include "ds/queue.hpp"
+#include "ds/stack.hpp"
+#include "runtime/mpsc_channel.hpp"
+#include "runtime/native_context.hpp"
+#include "sync/ccsynch.hpp"
+#include "sync/hybcomb.hpp"
+#include "sync/locks.hpp"
+#include "sync/universal.hpp"
+
+using namespace hmps;
+using rt::NativeCtx;
+
+namespace {
+
+rt::NativeEnv& env() {
+  static rt::NativeEnv e(4);
+  return e;
+}
+
+NativeCtx& ctx() {
+  static NativeCtx c(env(), 0, 42);
+  return c;
+}
+
+void BM_AtomicFaa(benchmark::State& state) {
+  std::atomic<std::uint64_t> x{0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.fetch_add(1, std::memory_order_acq_rel));
+  }
+}
+BENCHMARK(BM_AtomicFaa);
+
+void BM_AtomicCas(benchmark::State& state) {
+  std::atomic<std::uint64_t> x{0};
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    x.compare_exchange_strong(v, v + 1, std::memory_order_acq_rel);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_AtomicCas);
+
+void BM_ChannelSendRecv(benchmark::State& state) {
+  rt::MpscChannel ch(64);
+  const std::uint64_t msg[3] = {1, 2, 3};
+  std::uint64_t out[rt::MpscChannel::kMaxWords];
+  for (auto _ : state) {
+    ch.send(msg, 3);
+    benchmark::DoNotOptimize(ch.try_recv(out));
+  }
+}
+BENCHMARK(BM_ChannelSendRecv);
+
+void BM_CcSynchUncontended(benchmark::State& state) {
+  ds::SeqCounter c;
+  sync::CcSynch<NativeCtx> cc(&c, 200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cc.apply(ctx(), ds::counter_inc<NativeCtx>, 0));
+  }
+}
+BENCHMARK(BM_CcSynchUncontended);
+
+void BM_HybCombUncontended(benchmark::State& state) {
+  ds::SeqCounter c;
+  sync::HybComb<NativeCtx> hyb(&c, 200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hyb.apply(ctx(), ds::counter_inc<NativeCtx>, 0));
+  }
+}
+BENCHMARK(BM_HybCombUncontended);
+
+void BM_McsUncontended(benchmark::State& state) {
+  ds::SeqCounter c;
+  sync::LockUc<NativeCtx, sync::McsLock<NativeCtx>> mcs(&c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mcs.apply(ctx(), ds::counter_inc<NativeCtx>, 0));
+  }
+}
+BENCHMARK(BM_McsUncontended);
+
+void BM_LcrqEnqDeq(benchmark::State& state) {
+  ds::Lcrq<NativeCtx> q(7, 64);
+  for (auto _ : state) {
+    q.enqueue(ctx(), 5);
+    benchmark::DoNotOptimize(q.dequeue(ctx()));
+  }
+}
+BENCHMARK(BM_LcrqEnqDeq);
+
+void BM_TreiberPushPop(benchmark::State& state) {
+  ds::TreiberStack<NativeCtx> s(64);
+  for (auto _ : state) {
+    s.push(ctx(), 5);
+    benchmark::DoNotOptimize(s.pop(ctx()));
+  }
+}
+BENCHMARK(BM_TreiberPushPop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Verifies the scalar claims of Section 5.3 (the paper's text):
+//   * MP-SERVER peak throughput up to ~4.3x SHM-SERVER's,
+//   * HYBCOMB up to ~2.5x CC-SYNCH at high concurrency,
+//   * HYBCOMB executes <= 0.7 CAS per operation in multithreaded runs,
+//     ~0.1 at high concurrency,
+//   * fairness (max/min per-thread ops) <= ~1.2 for HYBCOMB and ~1.1 for
+//     MP-SERVER (cores nearer to the server complete slightly more ops).
+#include <cstdio>
+#include <vector>
+
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+
+using namespace hmps;
+using harness::Approach;
+
+int main(int argc, char** argv) {
+  const auto args = harness::BenchArgs::parse(argc, argv);
+
+  harness::Table table({"metric", "paper", "measured"});
+
+  harness::RunCfg hi;
+  hi.app_threads = args.threads ? args.threads : 35;
+  hi.seed = args.seed;
+  if (args.window) hi.window = args.window;
+  if (args.reps) hi.reps = args.reps;
+
+  const auto mp = harness::run_counter(hi, Approach::kMpServer);
+  const auto shm = harness::run_counter(hi, Approach::kShmServer);
+  const auto hyb = harness::run_counter(hi, Approach::kHybComb);
+  const auto cc = harness::run_counter(hi, Approach::kCcSynch);
+
+  table.add_row({"mp-server / shm-server peak throughput", "4.3x",
+                 harness::fmt(mp.mops / shm.mops) + "x"});
+  table.add_row({"HybComb / CC-Synch peak throughput", "~2.5x",
+                 harness::fmt(hyb.mops / cc.mops) + "x"});
+  table.add_row({"HybComb CAS/op, high concurrency", "~0.1",
+                 harness::fmt(hyb.cas_per_op, 3)});
+
+  // Worst-case CAS/op across moderate concurrency (paper: <= 0.7).
+  double worst_cas = 0;
+  double worst_fair_hyb = 0;
+  for (std::uint32_t t : {2u, 5u, 8u, 12u, 20u, 28u, 35u}) {
+    harness::RunCfg cfg = hi;
+    cfg.app_threads = t;
+    const auto r = harness::run_counter(cfg, Approach::kHybComb);
+    if (r.cas_per_op > worst_cas) worst_cas = r.cas_per_op;
+    if (r.fairness > worst_fair_hyb) worst_fair_hyb = r.fairness;
+    std::fprintf(stderr, "[sec53] hybcomb sweep t=%u done\n", t);
+  }
+  table.add_row({"HybComb CAS/op, worst over thread counts", "<= 0.7",
+                 harness::fmt(worst_cas, 3)});
+  table.add_row({"HybComb fairness ratio, worst", "<= ~1.2",
+                 harness::fmt(worst_fair_hyb)});
+  table.add_row({"mp-server fairness ratio (35 threads)", "~1.1",
+                 harness::fmt(mp.fairness)});
+
+  table.print("Section 5.3: scalar claims, paper vs measured");
+  if (!args.csv.empty()) table.write_csv(args.csv);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Native-mode example: the same algorithm templates running on REAL
+// threads (NativeCtx) instead of the simulator — message passing emulated
+// over shared memory with per-thread MPSC channels, as in the paper's
+// related work (RCL, CPHASH).
+//
+// A two-stage pipeline: producers submit log records to a shared journal
+// (a coarse-locked sequential queue under CC-SYNCH — no dedicated core),
+// and a drainer thread batches them out. Run it with:
+//
+//   $ ./examples/native_pipeline
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "ds/queue.hpp"
+#include "runtime/native_context.hpp"
+#include "sync/ccsynch.hpp"
+
+using namespace hmps;
+using rt::NativeCtx;
+
+int main() {
+  constexpr std::uint32_t kProducers = 3;
+  constexpr std::uint64_t kRecordsEach = 20000;
+
+  rt::NativeEnv env(kProducers + 1);
+  ds::SeqQueue journal(1 << 17);  // > total records: arena never wraps onto live nodes
+  sync::CcSynch<NativeCtx> uc(&journal, 64);
+
+  std::atomic<std::uint64_t> produced{0};
+  std::atomic<std::uint64_t> drained{0};
+  std::atomic<bool> producers_done{false};
+
+  std::vector<std::thread> threads;
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      NativeCtx ctx(env, p, 7 + p);
+      for (std::uint64_t i = 0; i < kRecordsEach; ++i) {
+        // Record: {producer | sequence}.
+        uc.apply(ctx, ds::q_enqueue<NativeCtx>,
+                 (static_cast<std::uint64_t>(p) << 32) | i);
+        produced.fetch_add(1, std::memory_order_relaxed);
+        ctx.compute(ctx.rand_below(64));
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    NativeCtx ctx(env, kProducers, 99);
+    std::vector<std::int64_t> last_seq(kProducers, -1);
+    bool order_ok = true;
+    for (;;) {
+      const std::uint64_t v = uc.apply(ctx, ds::q_dequeue<NativeCtx>, 0);
+      if (v == ds::kQEmpty) {
+        if (producers_done.load(std::memory_order_acquire) &&
+            drained.load(std::memory_order_relaxed) ==
+                kProducers * kRecordsEach) {
+          break;
+        }
+        rt::MpscChannel::cpu_pause();
+        continue;
+      }
+      const auto who = static_cast<std::uint32_t>(v >> 32);
+      const auto seq = static_cast<std::int64_t>(v & 0xFFFFFFFF);
+      if (seq != last_seq[who] + 1) order_ok = false;  // per-producer FIFO
+      last_seq[who] = seq;
+      drained.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::printf("per-producer FIFO order: %s\n",
+                order_ok ? "preserved" : "VIOLATED");
+  });
+
+  for (std::uint32_t p = 0; p < kProducers; ++p) threads[p].join();
+  producers_done.store(true, std::memory_order_release);
+  threads.back().join();
+
+  std::printf("produced=%llu drained=%llu\n",
+              static_cast<unsigned long long>(produced.load()),
+              static_cast<unsigned long long>(drained.load()));
+  return produced.load() == drained.load() ? 0 : 1;
+}

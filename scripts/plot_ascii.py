@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Render a bench CSV (first column = x, remaining columns = series) as an
+ASCII chart, so figure shapes can be eyeballed without a plotting stack.
+
+Usage:
+    ./build/bench/fig3a_counter_throughput --csv 3a.csv
+    scripts/plot_ascii.py 3a.csv [--height 20] [--width 70]
+"""
+import argparse
+import csv
+import sys
+
+MARKS = "ox+*#@%&"
+
+
+def load(path):
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    header = rows[0]
+    xs, series = [], [[] for _ in header[1:]]
+    for row in rows[1:]:
+        try:
+            xs.append(float(row[0]))
+        except ValueError:
+            continue
+        for i, cell in enumerate(row[1:]):
+            try:
+                series[i].append(float(cell))
+            except ValueError:
+                series[i].append(None)
+    return header, xs, series
+
+
+def render(header, xs, series, width, height):
+    flat = [v for s in series for v in s if v is not None]
+    if not flat or not xs:
+        print("no plottable data")
+        return
+    lo, hi = 0.0, max(flat) * 1.05 or 1.0
+    x0, x1 = min(xs), max(xs)
+    span_x = (x1 - x0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    for si, s in enumerate(series):
+        mark = MARKS[si % len(MARKS)]
+        for x, v in zip(xs, s):
+            if v is None:
+                continue
+            col = int((x - x0) / span_x * (width - 1))
+            row = int((v - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    print(f"y: {lo:.1f} .. {hi:.1f}")
+    for line in grid:
+        print("  |" + "".join(line))
+    print("  +" + "-" * width)
+    print(f"   x: {x0:g} .. {x1:g}   ({header[0]})")
+    for si, name in enumerate(header[1:]):
+        print(f"   {MARKS[si % len(MARKS)]} = {name}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("csv")
+    ap.add_argument("--width", type=int, default=70)
+    ap.add_argument("--height", type=int, default=20)
+    args = ap.parse_args()
+    header, xs, series = load(args.csv)
+    render(header, xs, series, args.width, args.height)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, every paper-figure bench and
+# every example, capturing outputs under results/. This is the one-shot
+# reproduction entry point.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+
+echo "== tests =="
+ctest --test-dir build --output-on-failure 2>&1 | tee results/ctest.txt
+
+echo "== benches =="
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "### $(basename "$b")"
+    "$b"
+    echo
+  fi
+done 2>/dev/null | tee results/bench_all.txt
+
+echo "== examples =="
+for e in build/examples/*; do
+  if [ -f "$e" ] && [ -x "$e" ]; then
+    echo "### $(basename "$e")"
+    "$e"
+    echo
+  fi
+done | tee results/examples.txt
+
+echo "All outputs captured under results/."

@@ -1,0 +1,134 @@
+// Functional-timing directory cache-coherence model.
+//
+// The model maintains, per 64-byte line, the single-writer/multiple-reader
+// invariant of Sorin et al. (the system model of the paper, Section 2):
+// at any time either one core owns the line read-write (M) or a set of cores
+// shares it read-only (S), with the authoritative copy otherwise at the
+// line's home tile (H).
+//
+// There are no transient states: each access atomically updates the line
+// state and returns the latency the requesting core observes. Per-line
+// occupancy serializes back-to-back transactions on a hot line, which is
+// what bounds the throughput of ping-ponging flags and contended CAS words.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "arch/params.hpp"
+#include "arch/profiler.hpp"
+#include "arch/topology.hpp"
+#include "sim/types.hpp"
+
+namespace hmps::arch {
+
+using sim::Cycle;
+using sim::Tid;
+
+/// Atomic operation class: unconditional RMWs (fetch-and-add, exchange)
+/// stream through the controller's update pipeline; CAS holds a slot for
+/// its read-compare-write and is far more expensive under contention (the
+/// false serialization of paper Section 5.4).
+enum class AtomicKind { kFaa, kCasSuccess, kCasFail };
+
+/// Per-access classification, used for core stall accounting and event
+/// counters (Fig. 4a reproduces the stall share from these).
+struct AccessCost {
+  Cycle latency = 0;   ///< total cycles until the value is usable
+  bool remote = false; ///< true iff this access was an RMR
+};
+
+class CoherenceModel {
+ public:
+  CoherenceModel(const MachineParams& p, const MeshTopology& topo)
+      : p_(p), topo_(topo) {}
+
+  /// Core `c` reads the line at address `addr` at time `now`.
+  AccessCost read(Tid c, std::uint64_t addr, Cycle now);
+
+  /// Core `c` writes the line (acquires read-write ownership).
+  AccessCost write(Tid c, std::uint64_t addr, Cycle now);
+
+  /// Core `c` executes an atomic RMW on the line. With atomics_at_ctrl the
+  /// operation is shipped to the line's memory controller (TILE-Gx);
+  /// otherwise it behaves as a write plus a local RMW penalty (x86-like).
+  /// `ctrl_wait_out`, if non-null, receives the queueing delay spent waiting
+  /// for the controller (false-serialization metric).
+  AccessCost atomic(Tid c, std::uint64_t addr, Cycle now,
+                    AtomicKind kind = AtomicKind::kCasSuccess,
+                    Cycle* ctrl_wait_out = nullptr);
+
+  /// Non-binding prefetch: performs the read transaction so a subsequent
+  /// read hits, and reports when the data will have arrived.
+  Cycle prefetch(Tid c, std::uint64_t addr, Cycle now) {
+    return now + read(c, addr, now).latency;
+  }
+
+  /// Re-asserts read-write ownership without a transaction. Models a store
+  /// buffer coalescing a second store into a line whose ownership
+  /// acquisition is still in flight: an interleaved remote read is ordered
+  /// after the drain, so the writer keeps the line (the reader will simply
+  /// miss again).
+  void own_silently(Tid c, std::uint64_t addr) {
+    Line& l = line_at(addr);
+    l.state = State::kModified;
+    l.owner = c;
+    l.sharers = 0;
+  }
+
+  std::uint64_t line_of(std::uint64_t addr) const {
+    return addr / p_.line_bytes;
+  }
+
+  // --- event counters (global; reset per measurement window) ---
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t rmr_reads = 0;
+    std::uint64_t rmr_writes = 0;
+    std::uint64_t atomics = 0;
+    std::uint64_t invalidations = 0;
+    Cycle ctrl_wait_total = 0;
+  };
+  const Counters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+
+  /// Attaches a hot-line profiler (nullptr detaches). Not owned.
+  void attach_profiler(CoherenceProfiler* p) { prof_ = p; }
+  CoherenceProfiler* profiler() { return prof_; }
+
+  /// Drops all line state (fresh caches). Mostly for tests.
+  void reset_lines() {
+    lines_.clear();
+    for (auto& c : ctrl_busy_until_) c = 0;
+  }
+
+ private:
+  enum class State : std::uint8_t { kHome, kShared, kModified };
+
+  struct Line {
+    State state = State::kHome;
+    Tid owner = sim::kNoTid;      ///< valid when kModified
+    std::uint64_t sharers = 0;    ///< bitmask over cores (<= 64 cores)
+    Cycle busy_until = 0;         ///< line-occupancy serialization point
+  };
+
+  Line& line_at(std::uint64_t addr) { return lines_[line_of(addr)]; }
+
+  /// Serializes on the line and returns the queueing delay.
+  Cycle acquire_line(Line& l, Cycle now) {
+    const Cycle wait = l.busy_until > now ? l.busy_until - now : 0;
+    l.busy_until = now + wait + p_.line_occupancy;
+    return wait;
+  }
+
+  Cycle inval_cost(std::uint64_t sharers, Tid except);
+
+  const MachineParams& p_;
+  const MeshTopology& topo_;
+  CoherenceProfiler* prof_ = nullptr;
+  std::unordered_map<std::uint64_t, Line> lines_;
+  Cycle ctrl_busy_until_[8] = {};
+  Counters counters_;
+};
+
+}  // namespace hmps::arch

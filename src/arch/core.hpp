@@ -1,0 +1,48 @@
+// Per-core execution accounting: busy/stall cycle attribution, the posted
+// write buffer, and the non-binding prefetch slot.
+//
+// The split between busy and stalled cycles is what reproduces Fig. 4a of
+// the paper; the write buffer and prefetch slot provide the RMR/CS overlap
+// that produces Fig. 4c (overheads of the shared-memory approaches shrink
+// as the critical section grows).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace hmps::arch {
+
+struct CoreState {
+  // Cycle attribution. busy + stall + idle ~= elapsed window time for a
+  // saturated core (idle = blocked in message receive with an empty queue).
+  sim::Cycle busy = 0;
+  sim::Cycle stall = 0;
+  sim::Cycle idle = 0;
+
+  // Single-entry posted-write buffer (weakly ordered stores). A store miss
+  // retires in the background until `wb_ready`; the next store miss or a
+  // fence drains it. Stores to the same line coalesce into the draining
+  // entry (`wb_line`).
+  sim::Cycle wb_ready = 0;
+  std::uint64_t wb_line = ~std::uint64_t{0};
+
+  // Non-binding prefetch slot: line being fetched and its arrival time.
+  std::uint64_t prefetch_line = ~std::uint64_t{0};
+  sim::Cycle prefetch_ready = 0;
+
+  // Event counts (per measurement window).
+  std::uint64_t mem_ops = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_received = 0;
+  std::uint64_t rmr_loads = 0;   ///< loads that missed (RMR on this core)
+  std::uint64_t rmr_stores = 0;  ///< stores that missed
+  sim::Cycle load_stall = 0;     ///< stall cycles attributed to loads
+  sim::Cycle wb_stall = 0;       ///< stalls waiting on the write buffer
+  sim::Cycle atomic_stall = 0;   ///< stalls in atomic round trips
+
+  void reset_window() { *this = CoreState{}; }
+};
+
+}  // namespace hmps::arch

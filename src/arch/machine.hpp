@@ -1,0 +1,60 @@
+// The simulated hybrid manycore: topology + coherence + memory controllers
+// + hardware message passing + per-core state, all driven by one scheduler.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arch/coherence.hpp"
+#include "arch/core.hpp"
+#include "arch/params.hpp"
+#include "arch/topology.hpp"
+#include "arch/udn.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+
+namespace hmps::arch {
+
+class Machine {
+ public:
+  explicit Machine(MachineParams params)
+      : params_(std::move(params)),
+        topo_(params_),
+        coh_(params_, topo_),
+        udn_(params_, topo_, sched_),
+        cores_(topo_.cores()) {}
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineParams& params() const { return params_; }
+  const MeshTopology& topo() const { return topo_; }
+  CoherenceModel& coherence() { return coh_; }
+  UdnModel& udn() { return udn_; }
+  sim::Scheduler& sched() { return sched_; }
+  sim::Tracer& tracer() { return tracer_; }
+
+  CoreState& core(sim::Tid c) { return cores_[c]; }
+  const CoreState& core(sim::Tid c) const { return cores_[c]; }
+  std::uint32_t cores() const { return topo_.cores(); }
+
+  /// Zeroes all per-window counters (core accounting + model counters)
+  /// without touching functional state, so a measurement can start after
+  /// warmup.
+  void reset_window_counters() {
+    for (auto& c : cores_) c.reset_window();
+    coh_.reset_counters();
+    udn_.reset_counters();
+  }
+
+ private:
+  MachineParams params_;
+  sim::Tracer tracer_;
+  sim::Scheduler sched_;
+  MeshTopology topo_;
+  CoherenceModel coh_;
+  UdnModel udn_;
+  std::vector<CoreState> cores_;
+};
+
+}  // namespace hmps::arch

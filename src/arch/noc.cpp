@@ -1,0 +1,49 @@
+#include "arch/noc.hpp"
+
+namespace hmps::arch {
+
+NocModel::NocModel(const MachineParams& p, const MeshTopology& topo)
+    : p_(p), topo_(topo), w_(p.mesh_w), h_(p.mesh_h),
+      busy_(static_cast<std::size_t>(w_) * h_ * kDirs, 0) {}
+
+Cycle NocModel::route(Tid src, Tid dst, Cycle inject_time,
+                      std::uint32_t words) {
+  ++counters_.messages;
+  Coord cur = topo_.coord(src);
+  const Coord end = topo_.coord(dst);
+  Cycle t = inject_time + p_.router;
+  const Cycle hold = p_.udn_per_word_wire * static_cast<Cycle>(words);
+
+  auto hop = [&](Dir d, std::int32_t dx, std::int32_t dy) {
+    const std::size_t li = link_index(static_cast<std::uint32_t>(cur.x),
+                                      static_cast<std::uint32_t>(cur.y), d);
+    Cycle& b = busy_[li];
+    const Cycle start = b > t ? b : t;
+    counters_.link_wait += start - t;
+    // The link carries the message's flits back to back.
+    b = start + hold;
+    t = start + p_.hop;
+    cur.x += dx;
+    cur.y += dy;
+    ++counters_.hops;
+  };
+
+  // Dimension-ordered: X first, then Y (TILE-Gx UDN routing).
+  while (cur.x != end.x) {
+    if (cur.x < end.x) {
+      hop(kEast, 1, 0);
+    } else {
+      hop(kWest, -1, 0);
+    }
+  }
+  while (cur.y != end.y) {
+    if (cur.y < end.y) {
+      hop(kSouth, 0, 1);
+    } else {
+      hop(kNorth, 0, -1);
+    }
+  }
+  return t;
+}
+
+}  // namespace hmps::arch

@@ -1,0 +1,54 @@
+// Optional link-level NoC contention model for the message network.
+//
+// The default UDN timing charges wire latency plus destination-port
+// serialization, which captures the paper's effects. This model adds
+// per-link occupancy along the XY (dimension-ordered) route — a wormhole
+// approximation where each hop's link is reserved for the message's flits —
+// so heavy many-to-one traffic also queues inside the mesh, not just at the
+// receiver. Enable with MachineParams::model_link_contention.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "arch/topology.hpp"
+#include "sim/types.hpp"
+
+namespace hmps::arch {
+
+using sim::Cycle;
+using sim::Tid;
+
+class NocModel {
+ public:
+  NocModel(const MachineParams& p, const MeshTopology& topo);
+
+  /// Arrival time at `dst` of an `words`-word message injected at `src` at
+  /// `inject_time`, after queueing on every link of the XY route.
+  Cycle route(Tid src, Tid dst, Cycle inject_time, std::uint32_t words);
+
+  struct Counters {
+    std::uint64_t messages = 0;
+    std::uint64_t hops = 0;
+    Cycle link_wait = 0;  ///< total cycles spent queued on busy links
+  };
+  const Counters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+
+ private:
+  // Directions out of each router.
+  enum Dir : std::uint32_t { kEast, kWest, kNorth, kSouth, kDirs };
+
+  std::size_t link_index(std::uint32_t x, std::uint32_t y, Dir d) const {
+    return (static_cast<std::size_t>(y) * w_ + x) * kDirs + d;
+  }
+
+  const MachineParams& p_;
+  const MeshTopology& topo_;
+  std::uint32_t w_, h_;
+  std::vector<Cycle> busy_;  ///< per-link reservation horizon
+  Counters counters_;
+};
+
+}  // namespace hmps::arch

@@ -1,0 +1,87 @@
+// 2D mesh topology with XY (dimension-ordered) routing distances.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "sim/types.hpp"
+
+namespace hmps::arch {
+
+struct Coord {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+};
+
+class MeshTopology {
+ public:
+  explicit MeshTopology(const MachineParams& p)
+      : w_(p.mesh_w), h_(p.mesh_h), hop_(p.hop), router_(p.router) {
+    assert(w_ > 0 && h_ > 0);
+    // Memory controllers sit at the vertical midpoints of the left and
+    // right mesh edges (mirroring the TILE-Gx's edge-attached controllers);
+    // extra controllers (if configured) spread along the top edge.
+    const std::int32_t midy = static_cast<std::int32_t>(h_) / 2;
+    ctrls_.push_back(Coord{0, midy});
+    if (p.n_mem_ctrls > 1)
+      ctrls_.push_back(Coord{static_cast<std::int32_t>(w_) - 1, midy});
+    for (std::uint32_t i = 2; i < p.n_mem_ctrls; ++i)
+      ctrls_.push_back(Coord{static_cast<std::int32_t>(i % w_), 0});
+  }
+
+  std::uint32_t cores() const { return w_ * h_; }
+  std::uint32_t n_ctrls() const {
+    return static_cast<std::uint32_t>(ctrls_.size());
+  }
+
+  Coord coord(sim::Tid core) const {
+    assert(core < cores());
+    return Coord{static_cast<std::int32_t>(core % w_),
+                 static_cast<std::int32_t>(core / w_)};
+  }
+
+  static std::uint32_t manhattan(Coord a, Coord b) {
+    return static_cast<std::uint32_t>(std::abs(a.x - b.x) +
+                                      std::abs(a.y - b.y));
+  }
+
+  std::uint32_t hops(sim::Tid a, sim::Tid b) const {
+    return manhattan(coord(a), coord(b));
+  }
+
+  std::uint32_t hops_to_ctrl(sim::Tid core, std::uint32_t ctrl) const {
+    return manhattan(coord(core), ctrls_[ctrl % ctrls_.size()]);
+  }
+
+  /// One-way message latency between two tiles.
+  Cycle wire(sim::Tid a, sim::Tid b) const { return router_ + hop_ * hops(a, b); }
+
+  /// One-way latency from a tile to a memory controller.
+  Cycle wire_to_ctrl(sim::Tid core, std::uint32_t ctrl) const {
+    return router_ + hop_ * hops_to_ctrl(core, ctrl);
+  }
+
+  /// Home tile of a cache line: lines are hash-distributed over all tiles
+  /// (TILE-Gx "hash-for-home" distributed directory).
+  sim::Tid home_tile(std::uint64_t line) const {
+    // Fibonacci hash to decorrelate adjacent lines.
+    return static_cast<sim::Tid>(((line * 0x9e3779b97f4a7c15ULL) >> 24) %
+                                 cores());
+  }
+
+  /// Memory controller owning a line (for atomics and off-chip traffic).
+  std::uint32_t home_ctrl(std::uint64_t line) const {
+    return static_cast<std::uint32_t>((line * 0x2545f4914f6cdd1dULL) >> 33) %
+           n_ctrls();
+  }
+
+ private:
+  std::uint32_t w_, h_;
+  Cycle hop_, router_;
+  std::vector<Coord> ctrls_;
+};
+
+}  // namespace hmps::arch

@@ -1,0 +1,103 @@
+#include "arch/udn.hpp"
+
+#include <cassert>
+
+namespace hmps::arch {
+
+UdnModel::UdnModel(const MachineParams& p, const MeshTopology& topo,
+                   sim::Scheduler& sched)
+    : p_(p), topo_(topo), noc_(p, topo), sched_(sched), nq_(p.udn_queues),
+      bufs_(topo.cores()) {
+  for (auto& b : bufs_) {
+    b.queues.resize(nq_);
+    b.q_recv_waiters.resize(nq_);
+  }
+}
+
+void UdnModel::send(Tid src, Tid dst, std::uint32_t queue,
+                    const std::uint64_t* words, std::size_t n) {
+  assert(dst < bufs_.size() && queue < nq_);
+  assert(n <= p_.udn_buf_words && "message larger than a whole buffer");
+  Buffer& b = bufs_[dst];
+
+  // Credit check: messages are never dropped, so if the destination buffer
+  // cannot accommodate the message the sender backs up (paper Section 5.1).
+  while (b.reserved + n > p_.udn_buf_words) {
+    ++counters_.sender_blocks;
+    b.send_waiters.push_back(Waiter{sched_.current(), n});
+    sched_.suspend();
+  }
+  b.reserved += n;
+  if (b.reserved > counters_.peak_occupancy) {
+    counters_.peak_occupancy = b.reserved;
+  }
+  ++counters_.messages;
+  counters_.words += n;
+
+  // Wire + ingress-port serialization determine the delivery time; the
+  // sender itself only pays injection cost (asynchronous send).
+  const Cycle now = sched_.now();
+  const Cycle inject_done =
+      now + p_.udn_inject + p_.udn_per_word_wire * static_cast<Cycle>(n);
+  const Cycle arrive_base =
+      p_.model_link_contention
+          ? noc_.route(src, dst, inject_done,
+                       static_cast<std::uint32_t>(n))
+          : inject_done + topo_.wire(src, dst);
+  const Cycle deliver =
+      (b.port_busy > arrive_base ? b.port_busy : arrive_base) +
+      p_.udn_per_word_wire * static_cast<Cycle>(n);
+  b.port_busy = deliver;
+
+  std::vector<std::uint64_t> payload(words, words + n);
+  sched_.at(deliver, [this, dst, queue, payload = std::move(payload)] {
+    Buffer& buf = bufs_[dst];
+    auto& q = buf.queues[queue];
+    for (std::uint64_t w : payload) q.push_back(w);
+    // Wake the receiver if its demand is now satisfied.
+    auto& waiters = buf.q_recv_waiters[queue];
+    if (!waiters.empty() && q.size() >= waiters.front().need) {
+      const auto fiber = waiters.front().fiber;
+      waiters.pop_front();
+      sched_.wake_now(fiber);
+    }
+  });
+
+  // The sender's own cost: occupy the core while serializing into the NoC.
+  sched_.wait_until(inject_done);
+}
+
+void UdnModel::receive(Tid dst, std::uint32_t queue, std::uint64_t* out,
+                       std::size_t n) {
+  assert(dst < bufs_.size() && queue < nq_);
+  Buffer& b = bufs_[dst];
+  auto& q = b.queues[queue];
+  while (q.size() < n) {
+    b.q_recv_waiters[queue].push_back(Waiter{sched_.current(), n});
+    sched_.suspend();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = q.front();
+    q.pop_front();
+  }
+  assert(b.reserved >= n);
+  b.reserved -= n;
+  try_release_senders(b);
+  // Popping words from the local hardware buffer is a register read; the
+  // per-word cost is charged here.
+  sched_.wait_for(p_.udn_recv_word * static_cast<Cycle>(n));
+}
+
+void UdnModel::try_release_senders(Buffer& b) {
+  // FIFO release: wake blocked senders while credits suffice. A woken
+  // sender re-checks the credit condition itself (it may race with other
+  // wakeups in the same cycle).
+  std::size_t budget = p_.udn_buf_words - b.reserved;
+  while (!b.send_waiters.empty() && b.send_waiters.front().need <= budget) {
+    budget -= b.send_waiters.front().need;
+    sched_.wake_now(b.send_waiters.front().fiber);
+    b.send_waiters.pop_front();
+  }
+}
+
+}  // namespace hmps::arch

@@ -1,0 +1,91 @@
+// Hardware message-passing model (Tilera User Dynamic Network).
+//
+// Each core owns a hardware message buffer of `udn_buf_words` 64-bit words,
+// demultiplexed into `udn_queues` independent FIFO queues (Section 5.1 of
+// the paper). send() is asynchronous: the sender pays only injection cost
+// unless the destination buffer is out of space, in which case the message
+// backs up into the network and the sender blocks (credit-based model of
+// the paper's never-drop guarantee). receive() reads from the local buffer
+// and blocks until enough words are present.
+//
+// send()/receive() must be called from inside scheduler fibers; delivery is
+// an ordinary discrete event.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "arch/noc.hpp"
+#include "arch/params.hpp"
+#include "arch/topology.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/types.hpp"
+
+namespace hmps::arch {
+
+using sim::Cycle;
+using sim::Tid;
+
+class UdnModel {
+ public:
+  UdnModel(const MachineParams& p, const MeshTopology& topo,
+           sim::Scheduler& sched);
+
+  /// Sends `n` words to (dst core, dst queue). Blocks the calling fiber on
+  /// backpressure; otherwise costs inject + per-word serialization.
+  void send(Tid src, Tid dst, std::uint32_t queue, const std::uint64_t* words,
+            std::size_t n);
+
+  /// Receives exactly `n` words from the local queue, blocking as needed.
+  void receive(Tid dst, std::uint32_t queue, std::uint64_t* out,
+               std::size_t n);
+
+  /// True iff the local queue currently holds no words.
+  bool queue_empty(Tid core, std::uint32_t queue) const {
+    return bufs_[core].queues[queue].empty();
+  }
+
+  std::size_t words_pending(Tid core, std::uint32_t queue) const {
+    return bufs_[core].queues[queue].size();
+  }
+
+  std::uint32_t n_queues() const { return static_cast<std::uint32_t>(nq_); }
+
+  NocModel& noc() { return noc_; }
+
+  struct Counters {
+    std::uint64_t messages = 0;
+    std::uint64_t words = 0;
+    std::uint64_t sender_blocks = 0;  ///< sends that hit backpressure
+    std::uint64_t peak_occupancy = 0; ///< max words resident in one buffer
+  };
+  const Counters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+
+ private:
+  struct Waiter {
+    sim::Scheduler::FiberId fiber;
+    std::size_t need;
+  };
+
+  struct Buffer {
+    std::vector<std::deque<std::uint64_t>> queues;
+    std::size_t reserved = 0;  ///< words in flight or resident (credits)
+    Cycle port_busy = 0;       ///< ingress port serialization
+    std::vector<std::deque<Waiter>> q_recv_waiters;  ///< blocked receivers
+    std::deque<Waiter> send_waiters;  ///< senders blocked on credits
+  };
+
+  void try_release_senders(Buffer& b);
+
+  const MachineParams& p_;
+  const MeshTopology& topo_;
+  NocModel noc_;
+  sim::Scheduler& sched_;
+  std::size_t nq_;
+  std::vector<Buffer> bufs_;
+  Counters counters_;
+};
+
+}  // namespace hmps::arch

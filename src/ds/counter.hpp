@@ -1,0 +1,54 @@
+// Concurrent counter (paper Section 5.3 microbenchmark): a sequential
+// 64-bit counter whose increment runs as a critical section under any
+// universal construction, plus CS bodies for the Fig. 4c variable-length
+// experiment.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/context.hpp"
+#include "sync/cs.hpp"
+
+namespace hmps::ds {
+
+using rt::Word;
+
+struct SeqCounter {
+  alignas(rt::kCacheLine) Word value{0};
+};
+
+/// CS body: fetch-and-increment. Returns the pre-increment value.
+template <class Ctx>
+std::uint64_t counter_inc(Ctx& ctx, void* obj, std::uint64_t /*arg*/) {
+  auto* c = static_cast<SeqCounter*>(obj);
+  const std::uint64_t v = ctx.load(&c->value);
+  ctx.store(&c->value, v + 1);
+  ctx.compute(1);  // the add itself
+  return v;
+}
+
+/// CS body: read the counter.
+template <class Ctx>
+std::uint64_t counter_get(Ctx& ctx, void* obj, std::uint64_t /*arg*/) {
+  return ctx.load(&static_cast<SeqCounter*>(obj)->value);
+}
+
+/// Fig. 4c object: an array whose elements are incremented in a loop, one
+/// increment per iteration; `arg` is the iteration count (CS length).
+struct ArrayObject {
+  static constexpr std::size_t kLen = 64;
+  Word cells[kLen];
+};
+
+template <class Ctx>
+std::uint64_t array_inc_loop(Ctx& ctx, void* obj, std::uint64_t iters) {
+  auto* a = static_cast<ArrayObject*>(obj);
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    Word* cell = &a->cells[i % ArrayObject::kLen];
+    ctx.store(cell, ctx.load(cell) + 1);
+    ctx.compute(1);
+  }
+  return iters;
+}
+
+}  // namespace hmps::ds

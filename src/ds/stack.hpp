@@ -1,0 +1,211 @@
+// Stacks for the paper's Section 5.4 / Fig. 5b experiments:
+//
+//  * SeqStack + CS bodies: a sequential linked-list stack made concurrent
+//    by any universal construction (coarse lock);
+//  * TreiberStack: the classic nonblocking stack, CAS on the top pointer
+//    with an ABA tag. Under contention most CASes fail and retry, which is
+//    why it trails every blocking implementation in Fig. 5b.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+#include "runtime/context.hpp"
+#include "sync/cs.hpp"
+
+namespace hmps::ds {
+
+using rt::Word;
+
+inline constexpr std::uint64_t kStackEmpty = ~std::uint64_t{0};
+
+class SeqStack {
+ public:
+  struct Node {
+    Word val{0};
+    Word next{0};  // Node*
+  };
+
+  explicit SeqStack(std::size_t capacity = 8192)
+      : cap_(capacity), arena_(new Node[capacity]) {
+    // All nodes start on the free list, threaded via next.
+    for (std::size_t i = 0; i + 1 < capacity; ++i) {
+      arena_[i].next.store(rt::to_word(&arena_[i + 1]),
+                           std::memory_order_relaxed);
+    }
+    free_.store(rt::to_word(&arena_[0]), std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const { return cap_; }
+
+  alignas(rt::kCacheLine) Word top_{0};
+  alignas(rt::kCacheLine) Word free_{0};
+
+ private:
+  std::size_t cap_;
+  std::unique_ptr<Node[]> arena_;
+};
+
+// Both the free list and the stack live under the same CS, so plain
+// loads/stores suffice.
+template <class Ctx>
+std::uint64_t s_push(Ctx& ctx, void* obj, std::uint64_t v) {
+  auto* s = static_cast<SeqStack*>(obj);
+  auto* n = rt::from_word<SeqStack::Node>(ctx.load(&s->free_));
+  assert(n != nullptr && "SeqStack arena exhausted; raise capacity");
+  ctx.store(&s->free_, ctx.load(&n->next));
+  ctx.store(&n->val, v);
+  ctx.store(&n->next, ctx.load(&s->top_));
+  ctx.store(&s->top_, rt::to_word(n));
+  return 0;
+}
+
+template <class Ctx>
+std::uint64_t s_pop(Ctx& ctx, void* obj, std::uint64_t /*unused*/) {
+  auto* s = static_cast<SeqStack*>(obj);
+  auto* n = rt::from_word<SeqStack::Node>(ctx.load(&s->top_));
+  if (n == nullptr) return kStackEmpty;
+  const std::uint64_t v = ctx.load(&n->val);
+  ctx.store(&s->top_, ctx.load(&n->next));
+  ctx.store(&n->next, ctx.load(&s->free_));
+  ctx.store(&s->free_, rt::to_word(n));
+  return v;
+}
+
+/// Coarse-lock stack over any universal construction.
+template <class Ctx, class UC>
+class UcStack {
+ public:
+  UcStack(SeqStack& s, UC& uc) : s_(&s), uc_(&uc) {}
+
+  void push(Ctx& ctx, std::uint64_t v) {
+    assert(v < kStackEmpty);
+    uc_->apply(ctx, &s_push<Ctx>, v);
+  }
+  std::uint64_t pop(Ctx& ctx) { return uc_->apply(ctx, &s_pop<Ctx>, 0); }
+
+ private:
+  SeqStack* s_;
+  UC* uc_;
+};
+
+/// Treiber's nonblocking stack (Treiber 1986). The top-of-stack word packs
+/// {tag:32 | node index:32} so CAS retries cannot suffer ABA; nodes come
+/// from a shared arena and are recycled through per-thread free lists
+/// (allocation itself is uncontended).
+template <class Ctx>
+class TreiberStack {
+ public:
+  static constexpr std::uint32_t kMaxThreads = 64;
+  static constexpr std::uint32_t kNullIdx = 0xFFFFFFFFu;
+
+  /// `per_thread_nodes` nodes are pre-assigned to every thread's free list.
+  explicit TreiberStack(std::uint32_t per_thread_nodes = 256)
+      : per_thread_(per_thread_nodes),
+        arena_(new Node[static_cast<std::size_t>(kMaxThreads) *
+                        per_thread_nodes]) {
+    top_.store(pack(0, kNullIdx), std::memory_order_relaxed);
+    for (std::uint32_t t = 0; t < kMaxThreads; ++t) {
+      const std::uint32_t base = t * per_thread_;
+      for (std::uint32_t i = 0; i + 1 < per_thread_; ++i) {
+        arena_[base + i].next.store(base + i + 1, std::memory_order_relaxed);
+      }
+      arena_[base + per_thread_ - 1].next.store(kNullIdx,
+                                                std::memory_order_relaxed);
+      free_[t].head = base;
+    }
+  }
+
+  void push(Ctx& ctx, std::uint64_t v) {
+    while (!push_once(ctx, v)) ctx.cpu_relax();
+  }
+
+  std::uint64_t pop(Ctx& ctx) {
+    std::uint64_t v;
+    while (!pop_once(ctx, &v)) ctx.cpu_relax();
+    return v;
+  }
+
+  struct Stats {
+    std::uint64_t cas_failures = 0;
+  };
+  Stats& stats(std::uint32_t t) { return stats_[t]; }
+
+ protected:
+  /// One CAS attempt; true on success (used by the elimination back-off
+  /// stack to divert on contention).
+  bool push_once(Ctx& ctx, std::uint64_t v) {
+    const std::uint32_t ni = alloc(ctx);
+    Node& n = arena_[ni];
+    ctx.store(&n.val, v);
+    const std::uint64_t old = ctx.load(&top_);
+    ctx.store(&n.next, static_cast<std::uint64_t>(idx(old)));
+    if (ctx.cas(&top_, old, pack(tag(old) + 1, ni))) return true;
+    ++stats_[ctx.tid()].cas_failures;
+    release(ctx, ni);
+    return false;
+  }
+
+  /// One attempt. Returns true when the operation completed — with *out
+  /// the popped value, or kStackEmpty if the stack was observed empty.
+  /// Returns false when the CAS lost a race.
+  bool pop_once(Ctx& ctx, std::uint64_t* out) {
+    const std::uint64_t old = ctx.load(&top_);
+    if (idx(old) == kNullIdx) {
+      *out = kStackEmpty;
+      return true;
+    }
+    Node& n = arena_[idx(old)];
+    const std::uint64_t next = ctx.load(&n.next);
+    if (ctx.cas(&top_, old,
+                pack(tag(old) + 1, static_cast<std::uint32_t>(next)))) {
+      *out = ctx.load(&n.val);
+      release(ctx, idx(old));
+      return true;
+    }
+    ++stats_[ctx.tid()].cas_failures;
+    return false;
+  }
+
+ private:
+  struct alignas(rt::kCacheLine) Node {
+    Word val{0};
+    Word next{0};  // node index (kNullIdx terminates)
+  };
+  struct alignas(rt::kCacheLine) FreeList {
+    std::uint32_t head = kNullIdx;  // thread-private
+  };
+  struct alignas(rt::kCacheLine) PaddedStats : Stats {};
+
+  static constexpr std::uint64_t pack(std::uint64_t tg, std::uint32_t i) {
+    return (tg << 32) | i;
+  }
+  static constexpr std::uint32_t idx(std::uint64_t w) {
+    return static_cast<std::uint32_t>(w);
+  }
+  static constexpr std::uint64_t tag(std::uint64_t w) { return w >> 32; }
+
+  std::uint32_t alloc(Ctx& ctx) {
+    FreeList& f = free_[ctx.tid()];
+    assert(f.head != kNullIdx && "Treiber arena exhausted for this thread");
+    const std::uint32_t ni = f.head;
+    f.head = static_cast<std::uint32_t>(
+        arena_[ni].next.load(std::memory_order_relaxed));
+    return ni;
+  }
+
+  void release(Ctx& ctx, std::uint32_t ni) {
+    FreeList& f = free_[ctx.tid()];
+    arena_[ni].next.store(f.head, std::memory_order_relaxed);
+    f.head = ni;
+  }
+
+  std::uint32_t per_thread_;
+  std::unique_ptr<Node[]> arena_;
+  alignas(rt::kCacheLine) Word top_{0};
+  FreeList free_[kMaxThreads];
+  PaddedStats stats_[kMaxThreads];
+};
+
+}  // namespace hmps::ds

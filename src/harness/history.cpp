@@ -1,0 +1,194 @@
+#include "harness/history.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hmps::harness {
+
+namespace {
+
+std::string describe(const OpRecord& op) {
+  static const char* names[] = {"enq", "deq", "push", "pop", "inc", "read"};
+  return std::string(names[static_cast<int>(op.kind)]) + "(arg=" +
+         std::to_string(op.arg) + ", ret=" + std::to_string(op.ret) +
+         ", t" + std::to_string(op.thread) + ", [" +
+         std::to_string(op.invoke) + "," + std::to_string(op.response) + "])";
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+SeqSpec queue_spec() {
+  SeqSpec s;
+  s.apply = [](std::vector<std::uint64_t>& state, const OpRecord& op) {
+    if (op.kind == OpKind::kEnq) {
+      state.push_back(op.arg);
+      return std::uint64_t{0};
+    }
+    // dequeue
+    if (state.empty()) return kNothing;
+    const std::uint64_t v = state.front();
+    state.erase(state.begin());
+    return v;
+  };
+  return s;
+}
+
+SeqSpec stack_spec() {
+  SeqSpec s;
+  s.apply = [](std::vector<std::uint64_t>& state, const OpRecord& op) {
+    if (op.kind == OpKind::kPush) {
+      state.push_back(op.arg);
+      return std::uint64_t{0};
+    }
+    if (state.empty()) return kNothing;
+    const std::uint64_t v = state.back();
+    state.pop_back();
+    return v;
+  };
+  return s;
+}
+
+SeqSpec counter_spec() {
+  SeqSpec s;
+  s.apply = [](std::vector<std::uint64_t>& state, const OpRecord& op) {
+    if (state.empty()) state.push_back(0);
+    if (op.kind == OpKind::kRead) return state[0];
+    return state[0]++;
+  };
+  return s;
+}
+
+CheckResult check_queue_fast(const std::vector<OpRecord>& history) {
+  CheckResult r;
+  std::unordered_map<std::uint64_t, const OpRecord*> enqs, deqs;
+  for (const auto& op : history) {
+    if (op.kind == OpKind::kEnq) {
+      if (!enqs.emplace(op.arg, &op).second) {
+        return {false, "duplicate enqueue of value " + std::to_string(op.arg) +
+                           " (values must be unique for this checker)"};
+      }
+    } else if (op.kind == OpKind::kDeq && op.ret != kNothing) {
+      if (!deqs.emplace(op.ret, &op).second) {
+        return {false, "value dequeued twice: " + describe(op)};
+      }
+    }
+  }
+  for (const auto& [v, d] : deqs) {
+    auto it = enqs.find(v);
+    if (it == enqs.end()) {
+      return {false, "dequeued a value never enqueued: " + describe(*d)};
+    }
+    if (d->response <= it->second->invoke) {
+      return {false, "dequeue completed before its enqueue began: " +
+                         describe(*d) + " vs " + describe(*it->second)};
+    }
+  }
+  // Real-time FIFO: enq(a) wholly before enq(b) => deq(b) not wholly before
+  // deq(a).
+  std::vector<std::pair<const OpRecord*, const OpRecord*>> pairs;
+  pairs.reserve(deqs.size());
+  for (const auto& [v, d] : deqs) pairs.push_back({enqs.at(v), d});
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    for (std::size_t j = 0; j < pairs.size(); ++j) {
+      if (i == j) continue;
+      const auto& [ea, da] = pairs[i];
+      const auto& [eb, db] = pairs[j];
+      if (ea->response < eb->invoke && db->response < da->invoke) {
+        return {false, "FIFO violation: " + describe(*ea) + " precedes " +
+                           describe(*eb) + " but " + describe(*db) +
+                           " precedes " + describe(*da)};
+      }
+    }
+  }
+  return r;
+}
+
+CheckResult check_counter_fast(const std::vector<OpRecord>& history) {
+  std::vector<const OpRecord*> incs;
+  for (const auto& op : history) {
+    if (op.kind == OpKind::kInc) incs.push_back(&op);
+  }
+  if (incs.empty()) return {};
+  std::vector<std::uint64_t> rets;
+  rets.reserve(incs.size());
+  for (auto* op : incs) rets.push_back(op->ret);
+  std::sort(rets.begin(), rets.end());
+  for (std::size_t i = 0; i + 1 < rets.size(); ++i) {
+    if (rets[i] == rets[i + 1]) {
+      return {false,
+              "two increments returned the same value " +
+                  std::to_string(rets[i]) + " (lost update)"};
+    }
+    if (rets[i] + 1 != rets[i + 1]) {
+      return {false, "increment results not consecutive around " +
+                         std::to_string(rets[i])};
+    }
+  }
+  // Real-time monotonicity: an increment wholly before another must return
+  // the smaller value.
+  for (const auto* a : incs) {
+    for (const auto* b : incs) {
+      if (a->response < b->invoke && a->ret >= b->ret) {
+        return {false, "non-monotonic increments: " + describe(*a) +
+                           " wholly precedes " + describe(*b)};
+      }
+    }
+  }
+  return {};
+}
+
+CheckResult linearizable(const std::vector<OpRecord>& history,
+                         const SeqSpec& spec) {
+  const std::size_t n = history.size();
+  if (n == 0) return {};
+  if (n > 63) {
+    return {false, "history too large for the complete checker (max 63 ops)"};
+  }
+
+  // DFS over (linearized-mask, spec state); memoize failed configurations.
+  std::unordered_set<std::uint64_t> failed;
+  std::vector<std::uint64_t> state;
+  std::vector<std::size_t> order;  // for error reporting
+
+  std::function<bool(std::uint64_t)> dfs = [&](std::uint64_t mask) -> bool {
+    if (mask == (std::uint64_t{1} << n) - 1) return true;
+    std::uint64_t key = mask;
+    for (std::uint64_t v : state) key = mix(key, v);
+    if (failed.count(key)) return false;
+
+    // Minimal-response bound among unlinearized ops: an op may linearize
+    // next only if no unlinearized op responded before it was invoked.
+    Cycle min_resp = sim::kCycleMax;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(mask & (std::uint64_t{1} << i))) {
+        min_resp = std::min(min_resp, history[i].response);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::uint64_t{1} << i)) continue;
+      if (history[i].invoke > min_resp) continue;  // someone must go first
+      std::vector<std::uint64_t> saved = state;
+      const std::uint64_t expect = spec.apply(state, history[i]);
+      if (expect == history[i].ret) {
+        order.push_back(i);
+        if (dfs(mask | (std::uint64_t{1} << i))) return true;
+        order.pop_back();
+      }
+      state = std::move(saved);
+    }
+    failed.insert(key);
+    return false;
+  };
+
+  if (dfs(0)) return {};
+  return {false, "no linearization exists for this history of " +
+                     std::to_string(n) + " ops"};
+}
+
+}  // namespace hmps::harness

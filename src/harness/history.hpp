@@ -1,0 +1,99 @@
+// Concurrent-history recording and linearizability checking.
+//
+// The simulator gives exact invoke/response timestamps for every operation,
+// so histories are precise. Two levels of checking are provided:
+//
+//  1. Fast partial checks (sound, not complete): value uniqueness,
+//     no-loss/no-dup, and the FIFO/real-time-order axioms that catch the
+//     common linearizability bugs in queues and counters at any scale.
+//  2. A complete Wing & Gong-style search (`linearizable()`), generic over
+//     a sequential specification, with memoization on (linearized-set,
+//     spec-state) — exponential in the worst case, intended for the small
+//     windows used by the property tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace hmps::harness {
+
+using sim::Cycle;
+
+enum class OpKind : std::uint8_t {
+  kEnq,
+  kDeq,   ///< ret = value or kNothing (empty)
+  kPush,
+  kPop,   ///< ret = value or kNothing (empty)
+  kInc,   ///< ret = pre-increment value
+  kRead,
+};
+
+inline constexpr std::uint64_t kNothing = ~std::uint64_t{0};
+
+struct OpRecord {
+  std::uint32_t thread = 0;
+  OpKind kind = OpKind::kEnq;
+  std::uint64_t arg = 0;
+  std::uint64_t ret = 0;
+  Cycle invoke = 0;
+  Cycle response = 0;
+};
+
+/// Append-only history; one recorder is shared by all simulated threads
+/// (single-host-thread simulator, so no synchronization needed).
+class HistoryRecorder {
+ public:
+  void record(OpRecord op) { ops_.push_back(op); }
+  const std::vector<OpRecord>& ops() const { return ops_; }
+  void clear() { ops_.clear(); }
+
+ private:
+  std::vector<OpRecord> ops_;
+};
+
+/// Sequential specification: clone-free functional interface over an
+/// explicit state vector (so the checker can hash/compare states).
+struct SeqSpec {
+  /// Applies `op` (kind/arg) to `state`; returns the expected result, or
+  /// nullopt if the op is not enabled... all ops here are total, so this
+  /// returns the result the sequential object would produce.
+  std::function<std::uint64_t(std::vector<std::uint64_t>& state,
+                              const OpRecord& op)>
+      apply;
+};
+
+SeqSpec queue_spec();
+SeqSpec stack_spec();
+SeqSpec counter_spec();
+
+struct CheckResult {
+  bool ok = true;
+  std::string reason;
+};
+
+/// Fast, sound FIFO-queue checks on a (possibly large) history:
+///  * every dequeued value was enqueued exactly once, dequeued at most once;
+///  * deq(v) does not respond before enq(v) was invoked;
+///  * real-time FIFO: enq(a) finishing before enq(b) starts implies deq(a)
+///    cannot start strictly after deq(b) finished... i.e. b must not be
+///    dequeued "entirely before" a.
+CheckResult check_queue_fast(const std::vector<OpRecord>& history);
+
+/// Fast counter checks: the multiset of returned pre-increment values of N
+/// completed increments is exactly {base..base+N-1} for some base, and a
+/// value cannot be returned before an increment producing it could have
+/// linearized.
+CheckResult check_counter_fast(const std::vector<OpRecord>& history);
+
+/// Complete linearizability check against `spec` (Wing & Gong with
+/// memoization). History sizes beyond ~20 concurrent ops get slow; use for
+/// property tests on small windows.
+CheckResult linearizable(const std::vector<OpRecord>& history,
+                         const SeqSpec& spec);
+
+}  // namespace hmps::harness

@@ -1,0 +1,85 @@
+#include "harness/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+namespace hmps::harness {
+
+void Table::print(const std::string& title) const {
+  std::vector<std::size_t> w(cols_.size());
+  for (std::size_t c = 0; c < cols_.size(); ++c) w[c] = cols_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < w.size(); ++c) {
+      if (r[c].size() > w[c]) w[c] = r[c].size();
+    }
+  }
+  std::cout << "== " << title << " ==\n";
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cols_.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      std::cout << "  " << s;
+      for (std::size_t k = s.size(); k < w[c]; ++k) std::cout << ' ';
+    }
+    std::cout << '\n';
+  };
+  line(cols_);
+  std::vector<std::string> dashes;
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    dashes.push_back(std::string(w[c], '-'));
+  }
+  line(dashes);
+  for (const auto& r : rows_) line(r);
+  std::cout.flush();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  auto row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) f << ',';
+      f << cells[c];
+    }
+    f << '\n';
+  };
+  row(cols_);
+  for (const auto& r : rows_) row(r);
+}
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+BenchArgs BenchArgs::parse(int argc, char** argv) {
+  BenchArgs a;
+  for (int i = 1; i < argc; ++i) {
+    const char* s = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(s, "--full") == 0) {
+      a.full = true;
+    } else if (std::strcmp(s, "--csv") == 0) {
+      a.csv = next();
+    } else if (std::strcmp(s, "--threads") == 0) {
+      a.threads = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(s, "--window") == 0) {
+      a.window = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(s, "--reps") == 0) {
+      a.reps = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(s, "--seed") == 0) {
+      a.seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(s, "--help") == 0) {
+      std::cout << "flags: [--full] [--csv FILE] [--threads N] "
+                   "[--window CYCLES] [--reps N] [--seed N]\n";
+      std::exit(0);
+    }
+  }
+  return a;
+}
+
+}  // namespace hmps::harness

@@ -1,0 +1,49 @@
+// Table/CSV reporting for the benchmark binaries: each bench prints the
+// rows/series of the paper figure it reproduces, in both a human-readable
+// aligned table and an optional CSV file for plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hmps::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : cols_(std::move(columns)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders the aligned table to stdout with a title line.
+  void print(const std::string& title) const;
+
+  /// Writes the table as CSV to `path` (overwrites).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> cols_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` decimals.
+std::string fmt(double v, int prec = 2);
+
+/// Standard bench command line: [--full] [--csv FILE] [--threads N]
+/// [--window CYCLES] [--reps N] [--seed N]. Benches scale their sweeps with
+/// `full`.
+struct BenchArgs {
+  bool full = false;
+  std::string csv;
+  std::uint32_t threads = 0;  // 0 = bench default
+  std::uint64_t window = 0;   // 0 = bench default
+  std::uint32_t reps = 0;     // 0 = bench default
+  std::uint64_t seed = 1;
+
+  static BenchArgs parse(int argc, char** argv);
+};
+
+}  // namespace hmps::harness

@@ -1,0 +1,459 @@
+#include "harness/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+#include "ds/counter.hpp"
+#include "ds/lcrq.hpp"
+#include "ds/queue.hpp"
+#include "ds/stack.hpp"
+#include "runtime/sim_context.hpp"
+#include "runtime/sim_executor.hpp"
+#include "sync/ccsynch.hpp"
+#include "sync/hybcomb.hpp"
+#include "sync/locks.hpp"
+#include "sync/mp_server.hpp"
+#include "sync/shm_server.hpp"
+#include "sync/universal.hpp"
+
+namespace hmps::harness {
+
+using rt::SimCtx;
+using rt::SimExecutor;
+using sim::Cycle;
+using sync::SyncStats;
+
+const char* approach_name(Approach a) {
+  switch (a) {
+    case Approach::kMpServer: return "mp-server";
+    case Approach::kHybComb: return "HybComb";
+    case Approach::kShmServer: return "shm-server";
+    case Approach::kCcSynch: return "CC-Synch";
+    case Approach::kMcsLock: return "mcs";
+    case Approach::kClhLock: return "clh";
+    case Approach::kTicketLock: return "ticket";
+    case Approach::kTasLock: return "tas";
+    case Approach::kTtasLock: return "ttas";
+  }
+  return "?";
+}
+
+bool approach_needs_server(Approach a) {
+  return a == Approach::kMpServer || a == Approach::kShmServer;
+}
+
+const char* queue_name(QueueImpl q) {
+  switch (q) {
+    case QueueImpl::kMp1: return "mp-server-1";
+    case QueueImpl::kHyb1: return "HybComb-1";
+    case QueueImpl::kShm1: return "shm-server-1";
+    case QueueImpl::kCc1: return "CC-Synch-1";
+    case QueueImpl::kMp2: return "mp-server-2";
+    case QueueImpl::kLcrq: return "LCRQ";
+  }
+  return "?";
+}
+
+const char* stack_name(StackImpl s) {
+  switch (s) {
+    case StackImpl::kMp: return "mp-server";
+    case StackImpl::kHyb: return "HybComb";
+    case StackImpl::kShm: return "shm-server";
+    case StackImpl::kCc: return "CC-Synch";
+    case StackImpl::kTreiber: return "Treiber";
+  }
+  return "?";
+}
+
+namespace {
+
+// Everything the generic runner snapshots at window boundaries.
+struct Snapshot {
+  std::vector<std::uint64_t> ops;
+  std::vector<double> latsum;
+  SyncStats stats;           // summed over threads
+  Cycle core0_busy = 0, core0_stall = 0;
+  std::uint64_t served = 0;  // CSes executed by the servicing thread(s)
+  std::uint64_t msgs = 0;
+  Cycle ctrl_wait = 0;
+};
+
+struct DriverHooks {
+  // One application operation (op index k for alternation). Runs on an app
+  // thread's context.
+  std::function<void(SimCtx&, std::uint64_t)> op;
+  // Server bodies (run on threads 0..n_servers-1); empty = no servers.
+  std::vector<std::function<void(SimCtx&)>> servers;
+  // Sums construction stats over all thread slots.
+  std::function<SyncStats()> sum_stats;
+};
+
+RunResult drive(const RunCfg& cfg, DriverHooks hooks) {
+  SimExecutor ex(cfg.machine, cfg.seed);
+  const std::uint32_t ns = static_cast<std::uint32_t>(hooks.servers.size());
+  const std::uint32_t na = cfg.app_threads;
+
+  std::vector<std::uint64_t> ops(na, 0);
+  std::vector<double> latsum(na, 0.0);
+  bool measuring = false;  // set once warmup completes
+  sim::Histogram lat_hist(/*bucket_width=*/8, /*nbuckets=*/4096);
+
+  for (std::uint32_t s = 0; s < ns; ++s) {
+    ex.add_thread(hooks.servers[s]);
+  }
+  for (std::uint32_t i = 0; i < na; ++i) {
+    ex.add_thread([&, i](SimCtx& ctx) {
+      std::uint64_t k = 0;
+      for (;;) {
+        const Cycle t0 = ctx.now();
+        hooks.op(ctx, k++);
+        const Cycle lat = ctx.now() - t0;
+        ops[i] += 1;
+        latsum[i] += static_cast<double>(lat);
+        if (measuring) lat_hist.add(lat);
+        // Section 5.2: up to think_iters_max empty loop iterations.
+        ctx.compute(cfg.think_iter_cost *
+                    ctx.rand_below(cfg.think_iters_max + 1));
+      }
+    });
+  }
+
+  auto snap = [&]() {
+    Snapshot s;
+    s.ops = ops;
+    s.latsum = latsum;
+    s.stats = hooks.sum_stats ? hooks.sum_stats() : SyncStats{};
+    s.core0_busy = ex.machine().core(0).busy;
+    s.core0_stall = ex.machine().core(0).stall;
+    s.served = s.stats.served;
+    s.msgs = ex.machine().udn().counters().messages;
+    s.ctrl_wait = ex.machine().coherence().counters().ctrl_wait_total;
+    return s;
+  };
+
+  ex.run_until(cfg.warmup);
+  measuring = true;
+  Snapshot prev = snap();
+
+  RunResult r;
+  std::vector<double> rep_mops;
+  double lat_n = 0, lat_sum = 0;
+  double serv_busy = 0, serv_stall = 0, serv_ops = 0;
+  double fair_max = 0, fair_min = 0;
+  SyncStats stat_delta{};
+  std::uint64_t msgs = 0;
+  double ctrl_wait = 0;
+
+  for (std::uint32_t rep = 0; rep < cfg.reps; ++rep) {
+    ex.run_until(ex.sched().now() + cfg.window);
+    Snapshot cur = snap();
+
+    std::uint64_t dops = 0, dmax = 0, dmin = ~std::uint64_t{0};
+    double dlat = 0;
+    for (std::uint32_t i = 0; i < na; ++i) {
+      const std::uint64_t d = cur.ops[i] - prev.ops[i];
+      dops += d;
+      dlat += cur.latsum[i] - prev.latsum[i];
+      // The fixed combiner (thread 0) completes no application ops; skip
+      // zero-op threads in the fairness ratio.
+      if (d > 0) {
+        dmax = std::max(dmax, d);
+        dmin = std::min(dmin, d);
+      }
+    }
+    rep_mops.push_back(static_cast<double>(dops) /
+                       static_cast<double>(cfg.window) * 1200.0);
+    lat_sum += dlat;
+    lat_n += static_cast<double>(dops);
+    fair_max += static_cast<double>(dmax);
+    fair_min += static_cast<double>(dmin == ~std::uint64_t{0} ? 0 : dmin);
+
+    serv_busy += static_cast<double>(cur.core0_busy - prev.core0_busy);
+    serv_stall += static_cast<double>(cur.core0_stall - prev.core0_stall);
+    const std::uint64_t dserved = cur.served - prev.served;
+    serv_ops += static_cast<double>(dserved ? dserved : dops);
+
+    stat_delta.ops += cur.stats.ops - prev.stats.ops;
+    stat_delta.served += cur.stats.served - prev.stats.served;
+    stat_delta.tenures += cur.stats.tenures - prev.stats.tenures;
+    stat_delta.cas_attempts += cur.stats.cas_attempts - prev.stats.cas_attempts;
+    stat_delta.cas_failures += cur.stats.cas_failures - prev.stats.cas_failures;
+    msgs += cur.msgs - prev.msgs;
+    ctrl_wait += static_cast<double>(cur.ctrl_wait - prev.ctrl_wait);
+
+    r.total_ops += dops;
+    prev = cur;
+  }
+
+  double mean = 0;
+  for (double m : rep_mops) mean += m;
+  mean /= static_cast<double>(rep_mops.size());
+  double var = 0;
+  for (double m : rep_mops) var += (m - mean) * (m - mean);
+  var /= static_cast<double>(rep_mops.size());
+
+  r.mops = mean;
+  r.mops_std = std::sqrt(var);
+  r.lat_mean = lat_n > 0 ? lat_sum / lat_n : 0;
+  r.lat_p50 = static_cast<double>(lat_hist.quantile(0.50));
+  r.lat_p99 = static_cast<double>(lat_hist.quantile(0.99));
+  r.serv_total_per_op = serv_ops > 0 ? (serv_busy + serv_stall) / serv_ops : 0;
+  r.serv_stall_per_op = serv_ops > 0 ? serv_stall / serv_ops : 0;
+  r.combining_rate = stat_delta.combining_rate();
+  const double napply = static_cast<double>(r.total_ops);
+  r.cas_per_op = napply > 0 ? static_cast<double>(stat_delta.cas_attempts) /
+                                  napply
+                            : 0;
+  r.fairness = fair_min > 0 ? fair_max / fair_min : 0;
+  r.msgs_per_op = napply > 0 ? static_cast<double>(msgs) / napply : 0;
+  r.ctrl_wait_per_op = napply > 0 ? ctrl_wait / napply : 0;
+  r.cycles_per_op = r.mops > 0 ? 1200.0 / r.mops : 0;
+  return r;
+}
+
+}  // namespace
+
+RunResult run_counter(const RunCfg& cfg, Approach a) {
+  // Objects outlive the executor inside drive(); keep them on this frame.
+  ds::SeqCounter counter;
+  ds::ArrayObject array;
+  void* obj = cfg.cs_iters > 0 ? static_cast<void*>(&array)
+                               : static_cast<void*>(&counter);
+  const sync::CsFn<SimCtx> fn = cfg.cs_iters > 0 ? &ds::array_inc_loop<SimCtx>
+                                                 : &ds::counter_inc<SimCtx>;
+  const std::uint64_t arg = cfg.cs_iters;
+
+  sync::MpServer<SimCtx> mp(0, obj);
+  sync::ShmServer<SimCtx> shm(0, obj);
+  sync::HybComb<SimCtx> hyb(obj, cfg.max_ops, cfg.fixed_combiner);
+  sync::CcSynch<SimCtx> cc(obj, static_cast<std::uint32_t>(cfg.max_ops),
+                           cfg.fixed_combiner);
+  sync::LockUc<SimCtx, sync::McsLock<SimCtx>> mcs(obj);
+  sync::LockUc<SimCtx, sync::ClhLock<SimCtx>> clh(obj);
+  sync::LockUc<SimCtx, sync::TicketLock<SimCtx>> ticket(obj);
+  sync::LockUc<SimCtx, sync::TasLock<SimCtx>> tas(obj);
+  sync::LockUc<SimCtx, sync::TtasLock<SimCtx>> ttas(obj);
+
+  DriverHooks hooks;
+  if (approach_needs_server(a)) {
+    hooks.servers.push_back([&, a](SimCtx& ctx) {
+      if (a == Approach::kMpServer) {
+        mp.serve(ctx);
+      } else {
+        shm.serve(ctx);
+      }
+    });
+  }
+  hooks.op = [&, a, fn, arg](SimCtx& ctx, std::uint64_t) {
+    switch (a) {
+      case Approach::kMpServer: mp.apply(ctx, fn, arg); break;
+      case Approach::kHybComb: hyb.apply(ctx, fn, arg); break;
+      case Approach::kShmServer: shm.apply(ctx, fn, arg); break;
+      case Approach::kCcSynch: cc.apply(ctx, fn, arg); break;
+      case Approach::kMcsLock: mcs.apply(ctx, fn, arg); break;
+      case Approach::kClhLock: clh.apply(ctx, fn, arg); break;
+      case Approach::kTicketLock: ticket.apply(ctx, fn, arg); break;
+      case Approach::kTasLock: tas.apply(ctx, fn, arg); break;
+      case Approach::kTtasLock: ttas.apply(ctx, fn, arg); break;
+    }
+  };
+  hooks.sum_stats = [&, a]() {
+    SyncStats sum;
+    for (std::uint32_t t = 0; t < 64; ++t) {
+      const SyncStats* s = nullptr;
+      switch (a) {
+        case Approach::kMpServer: s = &mp.stats(t); break;
+        case Approach::kHybComb: s = &hyb.stats(t); break;
+        case Approach::kShmServer: s = &shm.stats(t); break;
+        case Approach::kCcSynch: s = &cc.stats(t); break;
+        case Approach::kMcsLock: s = &mcs.stats(t); break;
+        case Approach::kClhLock: s = &clh.stats(t); break;
+        case Approach::kTicketLock: s = &ticket.stats(t); break;
+        case Approach::kTasLock: s = &tas.stats(t); break;
+        case Approach::kTtasLock: s = &ttas.stats(t); break;
+      }
+      sum.ops += s->ops;
+      sum.served += s->served;
+      sum.tenures += s->tenures;
+      sum.cas_attempts += s->cas_attempts;
+      sum.cas_failures += s->cas_failures;
+    }
+    return sum;
+  };
+  return drive(cfg, std::move(hooks));
+}
+
+double ideal_cs_cycles(const RunCfg& cfg) {
+  SimExecutor ex(cfg.machine, cfg.seed);
+  ds::ArrayObject array;
+  double per_op = 0;
+  const std::uint64_t iters = cfg.cs_iters;
+  ex.add_thread([&](SimCtx& ctx) {
+    // Warm the cache, then time the body.
+    ds::array_inc_loop<SimCtx>(ctx, &array, iters);
+    const Cycle t0 = ctx.now();
+    constexpr int kReps = 50;
+    for (int i = 0; i < kReps; ++i) {
+      ds::array_inc_loop<SimCtx>(ctx, &array, iters);
+    }
+    per_op = static_cast<double>(ctx.now() - t0) / kReps;
+  });
+  ex.run_until(sim::kCycleMax);
+  return per_op;
+}
+
+RunResult run_queue(const RunCfg& cfg, QueueImpl qi) {
+  ds::SeqQueue q(16384);
+  ds::Lcrq<SimCtx> lcrq(7, 8192);
+
+  sync::MpServer<SimCtx> mp1(0, &q);
+  sync::HybComb<SimCtx> hyb(&q, cfg.max_ops);
+  sync::ShmServer<SimCtx> shm(0, &q);
+  sync::CcSynch<SimCtx> cc(&q, static_cast<std::uint32_t>(cfg.max_ops));
+  sync::MpServer<SimCtx> mp2e(0, &q);
+  sync::MpServer<SimCtx> mp2d(1, &q);
+
+  DriverHooks hooks;
+  switch (qi) {
+    case QueueImpl::kMp1:
+      hooks.servers.push_back([&](SimCtx& ctx) { mp1.serve(ctx); });
+      break;
+    case QueueImpl::kShm1:
+      hooks.servers.push_back([&](SimCtx& ctx) { shm.serve(ctx); });
+      break;
+    case QueueImpl::kMp2:
+      hooks.servers.push_back([&](SimCtx& ctx) { mp2e.serve(ctx); });
+      hooks.servers.push_back([&](SimCtx& ctx) { mp2d.serve(ctx); });
+      break;
+    default:
+      break;
+  }
+  hooks.op = [&, qi](SimCtx& ctx, std::uint64_t k) {
+    const bool enq = (k & 1) == 0;
+    const std::uint64_t v = 1 + (k & 0xFFFF);
+    switch (qi) {
+      case QueueImpl::kMp1:
+        enq ? (void)mp1.apply(ctx, ds::q_enqueue<SimCtx>, v)
+            : (void)mp1.apply(ctx, ds::q_dequeue<SimCtx>, 0);
+        break;
+      case QueueImpl::kHyb1:
+        enq ? (void)hyb.apply(ctx, ds::q_enqueue<SimCtx>, v)
+            : (void)hyb.apply(ctx, ds::q_dequeue<SimCtx>, 0);
+        break;
+      case QueueImpl::kShm1:
+        enq ? (void)shm.apply(ctx, ds::q_enqueue<SimCtx>, v)
+            : (void)shm.apply(ctx, ds::q_dequeue<SimCtx>, 0);
+        break;
+      case QueueImpl::kCc1:
+        enq ? (void)cc.apply(ctx, ds::q_enqueue<SimCtx>, v)
+            : (void)cc.apply(ctx, ds::q_dequeue<SimCtx>, 0);
+        break;
+      case QueueImpl::kMp2:
+        enq ? (void)mp2e.apply(ctx, ds::q_enqueue_fenced<SimCtx>, v)
+            : (void)mp2d.apply(ctx, ds::q_dequeue_fenced<SimCtx>, 0);
+        break;
+      case QueueImpl::kLcrq:
+        enq ? lcrq.enqueue(ctx, static_cast<std::uint32_t>(v))
+            : (void)lcrq.dequeue(ctx);
+        break;
+    }
+  };
+  hooks.sum_stats = [&, qi]() {
+    SyncStats sum;
+    auto acc = [&sum](SyncStats& s) {
+      sum.ops += s.ops;
+      sum.served += s.served;
+      sum.tenures += s.tenures;
+      sum.cas_attempts += s.cas_attempts;
+      sum.cas_failures += s.cas_failures;
+    };
+    for (std::uint32_t t = 0; t < 64; ++t) {
+      switch (qi) {
+        case QueueImpl::kMp1: acc(mp1.stats(t)); break;
+        case QueueImpl::kHyb1: acc(hyb.stats(t)); break;
+        case QueueImpl::kShm1: acc(shm.stats(t)); break;
+        case QueueImpl::kCc1: acc(cc.stats(t)); break;
+        case QueueImpl::kMp2:
+          acc(mp2e.stats(t));
+          acc(mp2d.stats(t));
+          break;
+        case QueueImpl::kLcrq: break;
+      }
+    }
+    return sum;
+  };
+  return drive(cfg, std::move(hooks));
+}
+
+RunResult run_stack(const RunCfg& cfg, StackImpl si) {
+  ds::SeqStack st(16384);
+  ds::TreiberStack<SimCtx> tr(2048);
+
+  sync::MpServer<SimCtx> mp(0, &st);
+  sync::HybComb<SimCtx> hyb(&st, cfg.max_ops);
+  sync::ShmServer<SimCtx> shm(0, &st);
+  sync::CcSynch<SimCtx> cc(&st, static_cast<std::uint32_t>(cfg.max_ops));
+
+  DriverHooks hooks;
+  if (si == StackImpl::kMp) {
+    hooks.servers.push_back([&](SimCtx& ctx) { mp.serve(ctx); });
+  } else if (si == StackImpl::kShm) {
+    hooks.servers.push_back([&](SimCtx& ctx) { shm.serve(ctx); });
+  }
+  hooks.op = [&, si](SimCtx& ctx, std::uint64_t k) {
+    const bool push = (k & 1) == 0;
+    const std::uint64_t v = 1 + (k & 0xFFFF);
+    switch (si) {
+      case StackImpl::kMp:
+        push ? (void)mp.apply(ctx, ds::s_push<SimCtx>, v)
+             : (void)mp.apply(ctx, ds::s_pop<SimCtx>, 0);
+        break;
+      case StackImpl::kHyb:
+        push ? (void)hyb.apply(ctx, ds::s_push<SimCtx>, v)
+             : (void)hyb.apply(ctx, ds::s_pop<SimCtx>, 0);
+        break;
+      case StackImpl::kShm:
+        push ? (void)shm.apply(ctx, ds::s_push<SimCtx>, v)
+             : (void)shm.apply(ctx, ds::s_pop<SimCtx>, 0);
+        break;
+      case StackImpl::kCc:
+        push ? (void)cc.apply(ctx, ds::s_push<SimCtx>, v)
+             : (void)cc.apply(ctx, ds::s_pop<SimCtx>, 0);
+        break;
+      case StackImpl::kTreiber:
+        push ? tr.push(ctx, v) : (void)tr.pop(ctx);
+        break;
+    }
+  };
+  hooks.sum_stats = [&, si]() {
+    SyncStats sum;
+    auto acc = [&sum](SyncStats& s) {
+      sum.ops += s.ops;
+      sum.served += s.served;
+      sum.tenures += s.tenures;
+      sum.cas_attempts += s.cas_attempts;
+      sum.cas_failures += s.cas_failures;
+    };
+    for (std::uint32_t t = 0; t < 64; ++t) {
+      switch (si) {
+        case StackImpl::kMp: acc(mp.stats(t)); break;
+        case StackImpl::kHyb: acc(hyb.stats(t)); break;
+        case StackImpl::kShm: acc(shm.stats(t)); break;
+        case StackImpl::kCc: acc(cc.stats(t)); break;
+        case StackImpl::kTreiber: {
+          sum.cas_attempts += tr.stats(t).cas_failures;
+          break;
+        }
+      }
+    }
+    return sum;
+  };
+  return drive(cfg, std::move(hooks));
+}
+
+}  // namespace hmps::harness

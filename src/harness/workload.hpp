@@ -1,0 +1,91 @@
+// Benchmark workload drivers reproducing the paper's methodology
+// (Section 5.2): T application threads repeatedly operate on one concurrent
+// object, with a random think time of up to 50 empty-loop iterations after
+// every operation; threads are pinned thread i -> core i; server approaches
+// dedicate thread 0 (and thread 1 for the two-lock queue's second server);
+// MAX_OPS defaults to 200; results are averaged over `reps` measurement
+// windows after a warmup.
+//
+// Throughput is reported in Mops/s at the TILE-Gx clock (1.2 GHz), i.e.
+// ops/cycle * 1200, so numbers are directly comparable with the paper's
+// figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/params.hpp"
+#include "sim/types.hpp"
+
+namespace hmps::harness {
+
+/// Universal-construction approaches (Fig. 3/4) plus classic-lock
+/// ablations (Section 3 context).
+enum class Approach {
+  kMpServer,
+  kHybComb,
+  kShmServer,
+  kCcSynch,
+  kMcsLock,
+  kClhLock,
+  kTicketLock,
+  kTasLock,
+  kTtasLock,
+};
+
+const char* approach_name(Approach a);
+bool approach_needs_server(Approach a);
+
+/// Queue implementations of Fig. 5a.
+enum class QueueImpl { kMp1, kHyb1, kShm1, kCc1, kMp2, kLcrq };
+const char* queue_name(QueueImpl q);
+
+/// Stack implementations of Fig. 5b.
+enum class StackImpl { kMp, kHyb, kShm, kCc, kTreiber };
+const char* stack_name(StackImpl s);
+
+struct RunCfg {
+  arch::MachineParams machine = arch::MachineParams::tilegx36();
+  std::uint32_t app_threads = 1;    ///< application threads (servers extra)
+  sim::Cycle warmup = 60'000;
+  sim::Cycle window = 200'000;
+  std::uint32_t reps = 3;
+  std::uint64_t seed = 1;
+  std::uint64_t max_ops = 200;        ///< MAX_OPS for the combiners
+  std::uint32_t think_iters_max = 50; ///< Section 5.2 local work
+  sim::Cycle think_iter_cost = 2;     ///< cycles per empty-loop iteration
+  std::uint64_t cs_iters = 0;         ///< >0: Fig. 4c array-increment CS
+  bool fixed_combiner = false;        ///< Fig. 4a variant (MAX_OPS = inf)
+};
+
+struct RunResult {
+  double mops = 0;            ///< throughput, Mops/s @ 1.2 GHz
+  double mops_std = 0;        ///< across reps
+  double lat_mean = 0;        ///< mean request latency, cycles
+  double lat_p50 = 0;         ///< median request latency, cycles
+  double lat_p99 = 0;         ///< 99th-percentile request latency, cycles
+  double serv_total_per_op = 0;  ///< (busy+stall)/op at the servicing core
+  double serv_stall_per_op = 0;  ///< stall/op at the servicing core
+  double combining_rate = 0;  ///< requests per combining round (Fig. 4b)
+  double cas_per_op = 0;      ///< CAS executions per apply (Section 5.3)
+  double fairness = 0;        ///< max/min per-thread ops (Section 5.3)
+  double msgs_per_op = 0;
+  double ctrl_wait_per_op = 0;   ///< memory-controller queueing per op
+  double cycles_per_op = 0;   ///< window*threads... == 1200/mops per thread
+  std::uint64_t total_ops = 0;
+};
+
+/// Concurrent counter under the given approach (Figs. 3a-c, 4a-b; with
+/// cfg.cs_iters > 0 the Fig. 4c array CS).
+RunResult run_counter(const RunCfg& cfg, Approach a);
+
+/// Cycles to execute the Fig. 4c CS body alone (the "ideal" line).
+double ideal_cs_cycles(const RunCfg& cfg);
+
+/// Queue benchmark under balanced load (Fig. 5a).
+RunResult run_queue(const RunCfg& cfg, QueueImpl q);
+
+/// Stack benchmark under balanced load (Fig. 5b).
+RunResult run_stack(const RunCfg& cfg, StackImpl s);
+
+}  // namespace hmps::harness

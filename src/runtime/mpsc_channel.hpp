@@ -1,0 +1,116 @@
+// Bounded multi-producer/single-consumer message channel: the "software
+// UDN" used by NativeCtx. This is exactly the kind of message passing
+// emulated over shared memory that the paper's Section 1/7 discusses (RCL,
+// CPHASH): correct and portable, but paying coherence RMRs per message.
+//
+// Layout is a Vyukov-style bounded ring with per-slot sequence numbers;
+// each slot carries one message of up to kMaxWords 64-bit words. The single
+// consumer presents a word-stream interface (receive(k) words) to match the
+// UDN semantics of the paper's system model.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/context.hpp"
+
+namespace hmps::rt {
+
+class MpscChannel {
+ public:
+  static constexpr std::size_t kMaxWords = 4;
+
+  explicit MpscChannel(std::size_t slots = 256) : mask_(slots - 1),
+                                                  slots_(slots) {
+    assert(slots >= 2 && (slots & (slots - 1)) == 0 &&
+           "slot count must be a power of two");
+    for (std::size_t i = 0; i < slots; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscChannel(const MpscChannel&) = delete;
+  MpscChannel& operator=(const MpscChannel&) = delete;
+
+  /// Non-blocking send attempt; false when the ring is full (backpressure).
+  bool try_send(const std::uint64_t* words, std::size_t n) {
+    assert(n >= 1 && n <= kMaxWords);
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& s = slots_[pos & mask_];
+      const std::uint64_t seq = s.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::int64_t>(seq) -
+                       static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          for (std::size_t i = 0; i < n; ++i) s.words[i] = words[i];
+          s.count = static_cast<std::uint32_t>(n);
+          s.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Blocking send (spins on backpressure, like a backed-up hardware NoC).
+  /// Periodically yields so a full ring drains even on one hardware thread.
+  void send(const std::uint64_t* words, std::size_t n) {
+    std::uint32_t spins = 0;
+    while (!try_send(words, n)) {
+      if (++spins % 64 == 0) {
+        std::this_thread::yield();
+      } else {
+        cpu_pause();
+      }
+    }
+  }
+
+  /// Consumer only: pops one whole message into `out` (>= kMaxWords
+  /// capacity). Returns its word count, or 0 if the channel is empty.
+  std::size_t try_recv(std::uint64_t* out) {
+    Slot& s = slots_[head_ & mask_];
+    const std::uint64_t seq = s.seq.load(std::memory_order_acquire);
+    if (seq != head_ + 1) return 0;
+    const std::size_t n = s.count;
+    for (std::size_t i = 0; i < n; ++i) out[i] = s.words[i];
+    s.seq.store(head_ + mask_ + 1, std::memory_order_release);
+    ++head_;
+    return n;
+  }
+
+  /// Consumer only: true iff no complete message is resident.
+  bool empty() const {
+    const Slot& s = slots_[head_ & mask_];
+    return s.seq.load(std::memory_order_acquire) != head_ + 1;
+  }
+
+  static void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+
+ private:
+  struct alignas(kCacheLine) Slot {
+    std::atomic<std::uint64_t> seq;
+    std::uint64_t words[kMaxWords];
+    std::uint32_t count = 0;
+  };
+
+  const std::uint64_t mask_;
+  std::vector<Slot> slots_;
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
+  alignas(kCacheLine) std::uint64_t head_ = 0;  // consumer-private
+};
+
+}  // namespace hmps::rt

@@ -1,0 +1,290 @@
+// SimCtx: the ExecutionContext backend that runs algorithms on the
+// discrete-event machine model.
+//
+// Functional effects apply at the instant the fiber executes the call
+// (a legal linearization point inside the operation's latency interval,
+// valid because the whole simulation runs on one host thread); the fiber
+// then sleeps for the modeled latency, with cycles attributed to busy /
+// stall / idle per the core model.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "runtime/context.hpp"
+#include "sim/rng.hpp"
+
+namespace hmps::rt {
+
+/// Where a simulated thread currently executes: its core and the hardware
+/// message queue it has reserved there (paper Section 6: a thread's
+/// identity for message passing is its current (core, queue) pair).
+struct Placement {
+  Tid core = 0;
+  std::uint32_t queue = 0;
+};
+
+class SimCtx {
+ public:
+  /// `placements` maps thread id -> current placement for all threads of
+  /// the executor (shared; updated by migrate()).
+  SimCtx(arch::Machine& m, Tid tid, std::uint32_t nthreads,
+         std::vector<Placement>* placements, std::uint64_t seed)
+      : m_(m), tid_(tid), nthreads_(nthreads), placements_(placements),
+        core_((*placements)[tid].core), queue_((*placements)[tid].queue),
+        rng_(seed) {}
+
+  Tid tid() const { return tid_; }
+  std::uint32_t nthreads() const { return nthreads_; }
+  Tid core() const { return core_; }
+  Cycle now() const { return m_.sched().now(); }
+  arch::Machine& machine() { return m_; }
+  sim::Xoshiro256& rng() { return rng_; }
+  std::uint64_t rand_below(std::uint64_t bound) { return rng_.below(bound); }
+
+  // ---- shared memory ----
+
+  template <class T>
+  T load(const std::atomic<T>* p) {
+    static_assert(sizeof(T) <= 8);
+    const T v = p->load(std::memory_order_relaxed);
+    account_load(reinterpret_cast<std::uint64_t>(p));
+    return v;
+  }
+
+  template <class T>
+  void store(std::atomic<T>* p, T v) {
+    static_assert(sizeof(T) <= 8);
+    p->store(v, std::memory_order_relaxed);
+    account_store(reinterpret_cast<std::uint64_t>(p));
+  }
+
+  std::uint64_t faa(std::atomic<std::uint64_t>* p, std::uint64_t d) {
+    const std::uint64_t old = p->fetch_add(d, std::memory_order_relaxed);
+    account_atomic(reinterpret_cast<std::uint64_t>(p),
+                   arch::AtomicKind::kFaa);
+    return old;
+  }
+
+  template <class T>
+  T exchange(std::atomic<T>* p, T v) {
+    static_assert(sizeof(T) <= 8);
+    const T old = p->exchange(v, std::memory_order_relaxed);
+    // Exchange is an unconditional RMW: controller cost class of FAA.
+    account_atomic(reinterpret_cast<std::uint64_t>(p),
+                   arch::AtomicKind::kFaa);
+    return old;
+  }
+
+  template <class T>
+  bool cas(std::atomic<T>* p, T expect, T desired) {
+    static_assert(sizeof(T) <= 8);
+    const bool ok = p->compare_exchange_strong(expect, desired,
+                                               std::memory_order_relaxed);
+    account_atomic(reinterpret_cast<std::uint64_t>(p),
+                   ok ? arch::AtomicKind::kCasSuccess
+                      : arch::AtomicKind::kCasFail);
+    return ok;
+  }
+
+  void fence() {
+    auto& c = m_.core(core_);
+    const Cycle t = now();
+    if (c.wb_ready > t) {
+      c.stall += c.wb_ready - t;
+      m_.sched().wait_until(c.wb_ready);
+    }
+    c.busy += m_.params().fence_cost;
+    m_.sched().wait_for(m_.params().fence_cost);
+  }
+
+  void prefetch(const void* p) {
+    if (!m_.params().allow_prefetch) return;
+    auto& c = m_.core(core_);
+    const std::uint64_t addr = reinterpret_cast<std::uint64_t>(p);
+    c.prefetch_line = m_.coherence().line_of(addr);
+    c.prefetch_ready = m_.coherence().prefetch(core_, addr, now());
+    c.busy += 1;
+    m_.sched().wait_for(1);
+  }
+
+  // ---- message passing ----
+
+  void send(Tid dst_thread, const std::uint64_t* words, std::size_t n) {
+    auto& c = m_.core(core_);
+    ++c.msgs_sent;
+    const Cycle t0 = now();
+    m_.udn().send(core_, core_of_thread(dst_thread),
+                  queue_of_thread(dst_thread), words, n);
+    c.busy += now() - t0;  // injection cost; backpressure counts as busy-wait
+    m_.tracer().event(core_, "send", t0, now() - t0);
+  }
+
+  void send(Tid dst_thread, std::initializer_list<std::uint64_t> words) {
+    send(dst_thread, words.begin(), words.size());
+  }
+
+  void receive(std::uint64_t* out, std::size_t n) {
+    auto& c = m_.core(core_);
+    ++c.msgs_received;
+    const Cycle t0 = now();
+    const bool had = m_.udn().words_pending(core_, queue_) >= n;
+    m_.udn().receive(core_, queue_, out, n);
+    const Cycle dt = now() - t0;
+    m_.tracer().event(core_, had ? "receive" : "receive-wait", t0, dt);
+    const Cycle pop_cost =
+        m_.params().udn_recv_word * static_cast<Cycle>(n);
+    if (had) {
+      c.busy += dt;
+    } else {
+      // Waiting for a message is idle time, not a pipeline stall.
+      c.busy += pop_cost;
+      c.idle += dt > pop_cost ? dt - pop_cost : 0;
+    }
+  }
+
+  std::uint64_t receive1() {
+    std::uint64_t w;
+    receive(&w, 1);
+    return w;
+  }
+
+  bool queue_empty() {
+    auto& c = m_.core(core_);
+    c.busy += 1;
+    m_.sched().wait_for(1);
+    return m_.udn().queue_empty(core_, queue_);
+  }
+
+  // ---- execution ----
+
+  void compute(Cycle cycles) {
+    if (cycles == 0) return;
+    m_.tracer().event(core_, "compute", now(), cycles);
+    m_.core(core_).busy += cycles;
+    m_.sched().wait_for(cycles);
+  }
+
+  void cpu_relax() { compute(1); }
+
+  /// Current placement of any thread (dynamic: threads may migrate).
+  Tid core_of_thread(Tid t) const {
+    assert(t < placements_->size() && "message to unregistered thread id");
+    return (*placements_)[t].core;
+  }
+  std::uint32_t queue_of_thread(Tid t) const {
+    assert(t < placements_->size() && "message to unregistered thread id");
+    return (*placements_)[t].queue;
+  }
+
+  /// Migrates this thread to another core/hardware queue, as Section 6
+  /// allows "in between requests": the local message queue must be empty
+  /// (no response pending) and no request may be in flight. Charges a
+  /// migration penalty. The caller is responsible for not double-booking a
+  /// (core, queue) pair.
+  void migrate(Tid new_core, std::uint32_t new_queue, Cycle cost = 200) {
+    assert(m_.udn().queue_empty(core_, queue_) &&
+           "migrate with pending messages");
+    compute(cost);
+    core_ = new_core;
+    queue_ = new_queue;
+    (*placements_)[tid_] = Placement{new_core, new_queue};
+  }
+
+ private:
+  void account_load(std::uint64_t addr) {
+    auto& c = m_.core(core_);
+    ++c.mem_ops;
+    const auto& p = m_.params();
+    Cycle extra_wait = 0;
+    const std::uint64_t line = m_.coherence().line_of(addr);
+    if (c.prefetch_line == line) {
+      // The prefetch already ran the coherence transaction; the load only
+      // stalls for whatever latency is still outstanding.
+      const Cycle t = now();
+      extra_wait = c.prefetch_ready > t ? c.prefetch_ready - t : 0;
+      c.prefetch_line = ~std::uint64_t{0};
+    }
+    const auto ac = m_.coherence().read(core_, addr, now() + extra_wait);
+    if (ac.remote) ++c.rmr_loads;
+    const Cycle lat = extra_wait + ac.latency;
+    m_.tracer().event(core_, ac.remote ? "load-miss" : "load-hit", now(),
+                      p.issue_cost + lat);
+    const Cycle busy_part = lat < p.l_hit ? lat : p.l_hit;
+    c.busy += p.issue_cost + busy_part;
+    c.stall += lat - busy_part;
+    c.load_stall += lat - busy_part;
+    m_.sched().wait_for(p.issue_cost + lat);
+  }
+
+  void account_store(std::uint64_t addr) {
+    auto& c = m_.core(core_);
+    ++c.mem_ops;
+    const auto& p = m_.params();
+    const std::uint64_t line = m_.coherence().line_of(addr);
+    if (p.posted_writes && line == c.wb_line && now() < c.wb_ready) {
+      // Store-buffer coalescing: this store merges into the same-line entry
+      // still draining; ownership is re-asserted so an interleaved remote
+      // read (e.g. a client polling the response word) is ordered after the
+      // drain rather than splitting one upgrade into two.
+      m_.coherence().own_silently(core_, addr);
+      m_.tracer().event(core_, "store-coalesced", now(), p.issue_cost);
+      c.busy += p.issue_cost;
+      m_.sched().wait_for(p.issue_cost);
+      return;
+    }
+    const auto ac = m_.coherence().write(core_, addr, now());
+    if (ac.remote) ++c.rmr_stores;
+    if (ac.remote && p.posted_writes) {
+      // Posted store: retires through the write buffer in the background.
+      const Cycle t = now();
+      Cycle wait = 0;
+      if (c.wb_ready > t) {  // single-entry buffer still draining
+        wait = c.wb_ready - t;
+        c.stall += wait;
+        c.wb_stall += wait;
+      }
+      c.wb_ready = t + wait + ac.latency;
+      c.wb_line = line;
+      m_.tracer().event(core_, "store-posted", now(), p.issue_cost + wait);
+      c.busy += p.issue_cost;
+      m_.sched().wait_for(p.issue_cost + wait);
+    } else {
+      const Cycle busy_part = ac.latency < p.l_hit ? ac.latency : p.l_hit;
+      c.busy += p.issue_cost + busy_part;
+      c.stall += ac.latency - busy_part;
+      m_.sched().wait_for(p.issue_cost + ac.latency);
+    }
+  }
+
+  void account_atomic(std::uint64_t addr, arch::AtomicKind kind) {
+    auto& c = m_.core(core_);
+    ++c.mem_ops;
+    ++c.atomics;
+    const auto& p = m_.params();
+    const auto ac = m_.coherence().atomic(core_, addr, now(), kind);
+    m_.tracer().event(core_, "atomic", now(), p.issue_cost + ac.latency);
+    // Atomics block the core for their full round trip.
+    c.busy += p.issue_cost;
+    c.stall += ac.latency;
+    c.atomic_stall += ac.latency;
+    m_.sched().wait_for(p.issue_cost + ac.latency);
+  }
+
+  arch::Machine& m_;
+  Tid tid_;
+  std::uint32_t nthreads_;
+  std::vector<Placement>* placements_;
+  Tid core_;
+  std::uint32_t queue_;
+  sim::Xoshiro256 rng_;
+};
+
+static_assert(ExecutionContext<SimCtx>);
+
+}  // namespace hmps::rt

@@ -1,0 +1,90 @@
+// SimExecutor: owns a Machine plus one SimCtx/fiber per simulated thread
+// and provides warmup/measurement-window control for benchmarks.
+//
+// Thread bodies are infinite loops (they run "an application"); a window
+// ends by simply stopping the event loop at a horizon and snapshotting
+// counters, so fibers are never unwound (see fiber.hpp lifetime note).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "runtime/sim_context.hpp"
+
+namespace hmps::rt {
+
+class SimExecutor {
+ public:
+  using ThreadFn = std::function<void(SimCtx&)>;
+
+  explicit SimExecutor(arch::MachineParams params, std::uint64_t seed = 1)
+      : m_(std::make_unique<arch::Machine>(std::move(params))), seed_(seed) {}
+
+  arch::Machine& machine() { return *m_; }
+  sim::Scheduler& sched() { return m_->sched(); }
+  std::uint32_t nthreads() const {
+    return static_cast<std::uint32_t>(bodies_.size());
+  }
+
+  /// Registers a simulated thread; thread i is pinned to core i % cores
+  /// (demux queue i / cores). Must be called before start().
+  Tid add_thread(ThreadFn fn) {
+    bodies_.push_back(std::move(fn));
+    return static_cast<Tid>(bodies_.size() - 1);
+  }
+
+  /// Spawns all registered threads as fibers. Thread i starts at cycle i
+  /// (slight skew avoids artificial lockstep). Default placement pins
+  /// thread i to core i % cores, demux queue i / cores (the Section 6
+  /// multiplexing); threads may migrate() afterwards.
+  void start() {
+    const auto n = static_cast<std::uint32_t>(bodies_.size());
+    ctxs_.reserve(n);
+    placements_.resize(n);
+    for (Tid t = 0; t < n; ++t) {
+      placements_[t] = Placement{t % m_->cores(), t / m_->cores()};
+    }
+    for (Tid t = 0; t < n; ++t) {
+      ctxs_.push_back(std::make_unique<SimCtx>(
+          *m_, t, n, &placements_,
+          seed_ * 0x9e3779b97f4a7c15ULL + t));
+    }
+    for (Tid t = 0; t < n; ++t) {
+      SimCtx* ctx = ctxs_[t].get();
+      ThreadFn fn = bodies_[t];
+      m_->sched().spawn([fn = std::move(fn), ctx] { fn(*ctx); }, /*start=*/t);
+    }
+    started_ = true;
+  }
+
+  /// Runs the simulation up to the given absolute cycle.
+  void run_until(sim::Cycle t) {
+    if (!started_) start();
+    m_->sched().run(t);
+  }
+
+  /// Runs `warmup` cycles, zeroes the per-window counters, then runs
+  /// `window` more cycles. Returns the measured window length.
+  sim::Cycle run_window(sim::Cycle warmup, sim::Cycle window) {
+    run_until(m_->sched().now() + warmup);
+    m_->reset_window_counters();
+    const sim::Cycle t0 = m_->sched().now();
+    run_until(t0 + window);
+    return m_->sched().now() - t0;
+  }
+
+  SimCtx& ctx(Tid t) { return *ctxs_[t]; }
+
+ private:
+  std::unique_ptr<arch::Machine> m_;
+  std::uint64_t seed_;
+  std::vector<ThreadFn> bodies_;
+  std::vector<Placement> placements_;
+  std::vector<std::unique_ptr<SimCtx>> ctxs_;
+  bool started_ = false;
+};
+
+}  // namespace hmps::rt

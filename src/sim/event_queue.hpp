@@ -1,0 +1,67 @@
+// Deterministic discrete-event queue.
+//
+// Events are ordered by (time, insertion sequence): two events scheduled for
+// the same cycle fire in the order they were scheduled. This total order is
+// what makes whole simulations bit-reproducible across runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace hmps::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to fire at absolute time `t`. `t` may be in the past
+  /// relative to already-popped events only if the caller knows what it is
+  /// doing (the scheduler never does this); it will fire "now".
+  void schedule(Cycle t, Callback cb) {
+    heap_.push(Event{t, next_seq_++, std::move(cb)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  Cycle next_time() const { return heap_.top().time; }
+
+  /// Pops and returns the earliest event's callback, advancing `now` out.
+  Callback pop(Cycle* now) {
+    // std::priority_queue::top() is const; the callback must be moved out,
+    // which is safe because we pop immediately after.
+    Event& top = const_cast<Event&>(heap_.top());
+    *now = top.time;
+    Callback cb = std::move(top.cb);
+    heap_.pop();
+    return cb;
+  }
+
+  void clear() {
+    while (!heap_.empty()) heap_.pop();
+  }
+
+ private:
+  struct Event {
+    Cycle time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hmps::sim

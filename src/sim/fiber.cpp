@@ -1,0 +1,57 @@
+#include "sim/fiber.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hmps::sim {
+namespace {
+
+// makecontext() cannot pass pointers portably (its varargs are ints), so the
+// fiber being started is published through this slot just before the switch.
+// The simulator is single-host-threaded, so a plain global is fine.
+Fiber* g_starting = nullptr;
+Fiber* g_current = nullptr;
+
+}  // namespace
+
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
+    : fn_(std::move(fn)), stack_(new char[stack_bytes]) {
+  if (getcontext(&ctx_) != 0) {
+    std::perror("getcontext");
+    std::abort();
+  }
+  ctx_.uc_stack.ss_sp = stack_.get();
+  ctx_.uc_stack.ss_size = stack_bytes;
+  ctx_.uc_link = &caller_;  // falling off the end returns to the resumer
+  makecontext(&ctx_, &Fiber::trampoline, 0);
+}
+
+void Fiber::trampoline() {
+  Fiber* self = g_starting;
+  g_starting = nullptr;
+  self->fn_();
+  self->state_ = State::kFinished;
+  // uc_link takes control back to caller_.
+}
+
+void Fiber::resume() {
+  assert(state_ != State::kFinished && "resuming a finished fiber");
+  Fiber* prev = g_current;
+  g_current = this;
+  state_ = State::kRunning;
+  if (!started_) {
+    started_ = true;
+    g_starting = this;
+  }
+  swapcontext(&caller_, &ctx_);
+  g_current = prev;
+  if (state_ == State::kRunning) state_ = State::kReady;
+}
+
+void Fiber::yield() {
+  assert(g_current == this && "yield called off-fiber");
+  swapcontext(&ctx_, &caller_);
+}
+
+}  // namespace hmps::sim

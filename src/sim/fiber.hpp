@@ -1,0 +1,61 @@
+// Cooperative fibers (stackful coroutines) built on POSIX ucontext.
+//
+// Each simulated hardware thread runs as one fiber; the discrete-event
+// scheduler switches between fibers on a single host thread, which is what
+// makes the whole simulation deterministic and data-race-free by
+// construction.
+//
+// Lifetime note: a simulation window may end while fibers are blocked
+// (e.g. in a message receive). Such fibers are never resumed again and their
+// stack frames are reclaimed WITHOUT unwinding — destructors of locals on a
+// blocked fiber's stack do not run. Simulation code therefore keeps only
+// trivially-destructible state (or state owned outside the fiber) on fiber
+// stacks.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace hmps::sim {
+
+class Fiber {
+ public:
+  enum class State { kReady, kRunning, kBlocked, kFinished };
+
+  /// `fn` is the fiber body; it runs when the fiber is first resumed.
+  Fiber(std::function<void()> fn, std::size_t stack_bytes = kDefaultStack);
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  ~Fiber() = default;
+
+  /// Transfers control from the calling (host/scheduler) context into the
+  /// fiber. Returns when the fiber yields or finishes.
+  void resume();
+
+  /// Transfers control from inside the fiber back to whoever resumed it.
+  /// Must only be called on the currently running fiber.
+  void yield();
+
+  State state() const { return state_; }
+  bool finished() const { return state_ == State::kFinished; }
+
+  void set_state(State s) { state_ = s; }
+
+  static constexpr std::size_t kDefaultStack = 256 * 1024;
+
+ private:
+  static void trampoline();
+
+  std::function<void()> fn_;
+  std::unique_ptr<char[]> stack_;
+  ucontext_t ctx_{};
+  ucontext_t caller_{};
+  State state_ = State::kReady;
+  bool started_ = false;
+};
+
+}  // namespace hmps::sim

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// We use xoshiro256** (Blackman & Vigna): fast, high quality, and — unlike
+// std::mt19937 — with a representation-stable output sequence across
+// standard library implementations, which matters because tests pin exact
+// simulation outcomes to seeds.
+#pragma once
+
+#include <cstdint>
+
+namespace hmps::sim {
+
+/// splitmix64: used to expand a single 64-bit seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) { reseed(seed); }
+
+  constexpr void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+    // All-zero state is invalid; splitmix cannot produce 4 zero outputs from
+    // any seed, but keep the guard for safety.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Lemire-style multiply-shift; slight modulo bias is irrelevant for
+    // workload think times but the method is branch-light and fast.
+    unsigned __int128 m = static_cast<unsigned __int128>(operator()()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace hmps::sim

@@ -1,0 +1,59 @@
+#include "sim/scheduler.hpp"
+
+namespace hmps::sim {
+
+Scheduler::FiberId Scheduler::spawn(std::function<void()> fn, Cycle start,
+                                    std::size_t stack_bytes) {
+  const FiberId id = static_cast<FiberId>(fibers_.size());
+  fibers_.push_back(std::make_unique<Fiber>(std::move(fn), stack_bytes));
+  schedule_resume(id, start);
+  return id;
+}
+
+void Scheduler::schedule_resume(FiberId id, Cycle t) {
+  queue_.schedule(t, [this, id] {
+    Fiber& f = *fibers_[id];
+    if (f.finished()) return;
+    const FiberId prev = current_;
+    current_ = id;
+    f.resume();
+    current_ = prev;
+  });
+}
+
+Cycle Scheduler::run(Cycle horizon) {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > horizon) {
+      now_ = horizon;
+      break;
+    }
+    Cycle t;
+    EventQueue::Callback cb = queue_.pop(&t);
+    now_ = t;
+    cb();
+  }
+  return now_;
+}
+
+void Scheduler::wait_until(Cycle t) {
+  assert(in_fiber());
+  const FiberId id = current_;
+  Fiber& f = *fibers_[id];
+  schedule_resume(id, t < now_ ? now_ : t);
+  f.set_state(Fiber::State::kBlocked);
+  f.yield();
+}
+
+void Scheduler::suspend() {
+  assert(in_fiber());
+  Fiber& f = *fibers_[current_];
+  f.set_state(Fiber::State::kBlocked);
+  f.yield();
+}
+
+void Scheduler::wake(FiberId id, Cycle t) {
+  schedule_resume(id, t < now_ ? now_ : t);
+}
+
+}  // namespace hmps::sim

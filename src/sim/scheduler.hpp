@@ -1,0 +1,86 @@
+// Discrete-event scheduler driving a set of fibers on simulated time.
+//
+// The scheduler owns the global clock. Fibers advance time by calling
+// wait_until()/suspend() from inside their bodies; external machine models
+// (NoC, message buffers, ...) schedule plain callbacks with at().
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/fiber.hpp"
+#include "sim/types.hpp"
+
+namespace hmps::sim {
+
+class Scheduler {
+ public:
+  using FiberId = std::uint32_t;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Creates a fiber and schedules its first resume at `start` (default:
+  /// current time). Returns its id.
+  FiberId spawn(std::function<void()> fn, Cycle start = 0,
+                std::size_t stack_bytes = Fiber::kDefaultStack);
+
+  /// Runs events until the queue is empty, `horizon` is passed, or stop()
+  /// is called. Returns the simulated time reached.
+  Cycle run(Cycle horizon = kCycleMax);
+
+  /// Requests run() to return after the current event completes. Callable
+  /// from inside fibers or callbacks.
+  void stop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
+
+  Cycle now() const { return now_; }
+
+  /// Schedules an arbitrary callback at absolute time t (>= now).
+  void at(Cycle t, std::function<void()> cb) {
+    queue_.schedule(t < now_ ? now_ : t, std::move(cb));
+  }
+
+  // ---- Fiber-side API (must be called from inside a running fiber) ----
+
+  /// Blocks the current fiber until absolute time t.
+  void wait_until(Cycle t);
+
+  /// Blocks the current fiber for `d` cycles.
+  void wait_for(Cycle d) { wait_until(now_ + d); }
+
+  /// Blocks the current fiber indefinitely; resume via wake().
+  void suspend();
+
+  /// Schedules fiber `id` to resume at time t (>= now). Only valid for
+  /// fibers blocked via suspend().
+  void wake(FiberId id, Cycle t);
+  void wake_now(FiberId id) { wake(id, now_); }
+
+  /// Id of the fiber currently executing. Only valid inside a fiber.
+  FiberId current() const {
+    assert(current_ != kNoFiber);
+    return current_;
+  }
+  bool in_fiber() const { return current_ != kNoFiber; }
+
+  bool fiber_finished(FiberId id) const { return fibers_[id]->finished(); }
+  std::size_t fiber_count() const { return fibers_.size(); }
+
+  static constexpr FiberId kNoFiber = ~FiberId{0};
+
+ private:
+  void schedule_resume(FiberId id, Cycle t);
+
+  EventQueue queue_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  Cycle now_ = 0;
+  FiberId current_ = kNoFiber;
+  bool stop_requested_ = false;
+};
+
+}  // namespace hmps::sim

@@ -1,0 +1,96 @@
+// Lightweight statistics containers used throughout the simulator and the
+// benchmark harness: streaming summaries and fixed-bucket histograms.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hmps::sim {
+
+/// Streaming min/max/mean/variance accumulator (Welford's algorithm).
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  void merge(const Summary& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double n1 = static_cast<double>(n_), n2 = static_cast<double>(o.n_);
+    const double delta = o.mean_ - mean_;
+    mean_ = (n1 * mean_ + n2 * o.mean_) / (n1 + n2);
+    m2_ += o.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Histogram over [0, bucket_width * nbuckets) with an overflow bucket;
+/// supports approximate quantiles, good enough for latency reporting.
+class Histogram {
+ public:
+  Histogram(std::uint64_t bucket_width, std::size_t nbuckets)
+      : width_(bucket_width ? bucket_width : 1), buckets_(nbuckets + 1, 0) {}
+
+  void add(std::uint64_t x) {
+    std::size_t b = static_cast<std::size_t>(x / width_);
+    if (b >= buckets_.size() - 1) b = buckets_.size() - 1;
+    ++buckets_[b];
+    ++total_;
+    summary_.add(static_cast<double>(x));
+  }
+
+  std::uint64_t count() const { return total_; }
+  const Summary& summary() const { return summary_; }
+
+  /// Approximate quantile (bucket upper bound). q in [0,1].
+  std::uint64_t quantile(double q) const {
+    if (total_ == 0) return 0;
+    const std::uint64_t target = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_ - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      seen += buckets_[b];
+      if (seen > target) return (b + 1) * width_;
+    }
+    return buckets_.size() * width_;
+  }
+
+ private:
+  std::uint64_t width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  Summary summary_;
+};
+
+}  // namespace hmps::sim

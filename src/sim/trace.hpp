@@ -1,0 +1,68 @@
+// Execution tracing: collects per-core timeline events from a simulation
+// and writes them as Chrome trace-event JSON (open chrome://tracing or
+// https://ui.perfetto.dev and load the file).
+//
+// Disabled by default: the hot-path cost is one branch. Event volume is
+// bounded by `max_events` to keep traces loadable.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace hmps::sim {
+
+class Tracer {
+ public:
+  /// Starts collecting up to `max_events` events.
+  void enable(std::size_t max_events = 1'000'000) {
+    enabled_ = true;
+    max_ = max_events;
+    events_.reserve(max_events < 65536 ? max_events : 65536);
+  }
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  /// Records a duration event on a core's timeline. `name` must point to a
+  /// string with static storage duration (no copies are taken).
+  void event(Tid core, const char* name, Cycle start, Cycle dur) {
+    if (!enabled_ || events_.size() >= max_) return;
+    events_.push_back(Event{name, start, dur, core});
+  }
+
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Writes the Chrome trace-event JSON. Cycle timestamps are emitted as
+  /// microseconds 1:1 (so "1 us" in the viewer = 1 simulated cycle).
+  void write_chrome_json(const std::string& path) const {
+    std::ofstream f(path);
+    f << "[\n";
+    bool first = true;
+    for (const Event& e : events_) {
+      if (!first) f << ",\n";
+      first = false;
+      f << R"({"name":")" << e.name << R"(","ph":"X","pid":0,"tid":)"
+        << e.core << R"(,"ts":)" << e.start << R"(,"dur":)"
+        << (e.dur == 0 ? 1 : e.dur) << "}";
+    }
+    f << "\n]\n";
+  }
+
+ private:
+  struct Event {
+    const char* name;
+    Cycle start;
+    Cycle dur;
+    Tid core;
+  };
+
+  bool enabled_ = false;
+  std::size_t max_ = 0;
+  std::vector<Event> events_;
+};
+
+}  // namespace hmps::sim

@@ -1,0 +1,19 @@
+// Basic simulation-wide value types.
+#pragma once
+
+#include <cstdint>
+
+namespace hmps::sim {
+
+/// Simulated time, in processor clock cycles.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "never" / unbounded horizons.
+inline constexpr Cycle kCycleMax = ~Cycle{0};
+
+/// Identifier of a simulated hardware thread / core slot.
+using Tid = std::uint32_t;
+
+inline constexpr Tid kNoTid = ~Tid{0};
+
+}  // namespace hmps::sim

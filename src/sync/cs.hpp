@@ -1,0 +1,52 @@
+// Common critical-section plumbing shared by all universal constructions.
+//
+// Every construction serves one concurrent object (the paper's footnote 2:
+// the object a CS executes on is implicit). A critical section is a plain
+// function taking the execution context, the object, and one 64-bit
+// argument, returning one 64-bit result — which is exactly what fits the
+// paper's 3-word request / 1-word response message format:
+//     request  = { sender_id, fn, arg }
+//     response = { retval }
+//
+// The fn word doubles as the paper's Section 5.2 "opcode" optimization:
+// since it is a direct function pointer, the servicing thread's dispatch is
+// a single indirect call (the inlining effect the paper exploits).
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/context.hpp"
+
+namespace hmps::sync {
+
+using rt::Cycle;
+using rt::Tid;
+using rt::Word;
+
+/// Critical-section body type for a given execution context.
+template <class Ctx>
+using CsFn = std::uint64_t (*)(Ctx&, void* obj, std::uint64_t arg);
+
+/// fn == kStopWord in a request shuts a server loop down (never a valid
+/// function pointer).
+inline constexpr std::uint64_t kStopWord = 0;
+
+/// Per-construction counters, exposed uniformly so the harness can report
+/// the paper's Fig. 4b / Section 5.3 metrics.
+struct SyncStats {
+  std::uint64_t ops = 0;             ///< apply() calls completed
+  std::uint64_t served = 0;          ///< CSes executed while servicing
+  std::uint64_t tenures = 0;         ///< combining rounds (combiners only)
+  std::uint64_t cas_attempts = 0;    ///< CAS executions (HybComb Fig. 5.3)
+  std::uint64_t cas_failures = 0;
+
+  void reset() { *this = SyncStats{}; }
+
+  /// Average requests executed per combining round (Fig. 4b).
+  double combining_rate() const {
+    return tenures ? static_cast<double>(served) / static_cast<double>(tenures)
+                   : 0.0;
+  }
+};
+
+}  // namespace hmps::sync

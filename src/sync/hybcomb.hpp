@@ -1,0 +1,206 @@
+// HYBCOMB (paper Section 4.2, Algorithm 1): the hybrid combining
+// construction and the paper's central contribution.
+//
+// Hardware message passing carries requests/responses between clients and
+// the current combiner (as in MP-SERVER), while coherent shared memory
+// manages combiner identity: a CAS on `last_registered_combiner` builds a
+// logical queue of would-be combiners (CSqueue), each spinning on its
+// predecessor's `combining_done` flag.
+//
+// Line numbers in comments refer to Algorithm 1 in the paper. The
+// implementation keeps the algorithm's subtle points faithfully:
+//  * registration is a FAA on the last registered combiner's n_ops; a
+//    result >= MAX_OPS means the combiner is closed (or not yet open) and
+//    the caller competes to become the next combiner (lines 9-21);
+//  * a combiner first drains its message queue opportunistically (lines
+//    25-28, optional for correctness, good for combining potential), then
+//    closes registration with a SWAP of n_ops to MAX_OPS and serves exactly
+//    the remaining registered requests (lines 30-37);
+//  * a departing combiner exchanges its node with the single spare node
+//    (departed_combiner), so n_ops of the node it leaves behind stays at
+//    MAX_OPS until the node is reused and re-opened at line 18 (lines
+//    38-42 and the "additional comments" paragraph).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "runtime/context.hpp"
+#include "sync/cs.hpp"
+
+namespace hmps::sync {
+
+template <class Ctx>
+class HybComb {
+ public:
+  using Fn = CsFn<Ctx>;
+
+  static constexpr std::uint32_t kMaxThreads = 64;
+  static constexpr std::uint64_t kNoThread = ~std::uint64_t{0};
+
+  /// Design-space options discussed in Section 4.2 ("additional comments");
+  /// the defaults are the paper's Algorithm 1.
+  struct Options {
+    /// Register as combiner with SWAP instead of CAS: registration always
+    /// succeeds, building a CLH-style chain of combiners, but some of them
+    /// end up combining only their own request (the paper's argument for
+    /// CAS).
+    bool swap_registration = false;
+    /// Run the opportunistic drain loop (lines 25-28) before closing
+    /// registration; not needed for correctness, good for combining
+    /// potential.
+    bool eager_drain = true;
+  };
+
+  /// `max_ops` is MAX_OPS of Algorithm 1. `fixed_combiner` reproduces the
+  /// Fig. 4a measurement variant (MAX_OPS = infinity, one combiner for the
+  /// whole run: the first thread to combine never departs).
+  HybComb(void* obj, std::uint64_t max_ops = 200, bool fixed_combiner = false,
+          Options opts = Options{})
+      : obj_(obj),
+        // Fixed-combiner mode IS "MAX_OPS = infinity" (paper footnote 4):
+        // registration must never close, or clients wedge behind a combiner
+        // that never departs.
+        max_ops_(fixed_combiner ? (std::uint64_t{1} << 62) : max_ops),
+        fixed_(fixed_combiner), opts_(opts),
+        pool_(new Node[kMaxThreads + 1]) {
+    // Line 3: departed_combiner <- {bottom, MAX_OPS, true}
+    Node* dep = &pool_[kMaxThreads];
+    dep->thread_id.store(kNoThread, std::memory_order_relaxed);
+    dep->n_ops.store(max_ops_, std::memory_order_relaxed);
+    dep->combining_done.store(1, std::memory_order_relaxed);
+    departed_.store(rt::to_word(dep), std::memory_order_relaxed);
+    // Line 4: last_registered_combiner <- departed_combiner
+    lrc_.store(rt::to_word(dep), std::memory_order_relaxed);
+    // Line 5: my_node <- {id, MAX_OPS, false}
+    for (std::uint32_t t = 0; t < kMaxThreads; ++t) {
+      pool_[t].thread_id.store(t, std::memory_order_relaxed);
+      pool_[t].n_ops.store(max_ops_, std::memory_order_relaxed);
+      pool_[t].combining_done.store(0, std::memory_order_relaxed);
+      my_[t].node = &pool_[t];
+    }
+  }
+
+  std::uint64_t apply(Ctx& ctx, Fn fn, std::uint64_t arg) {
+    const Tid tid = ctx.tid();
+    SyncStats& st = stats_[tid].s;
+    Node* my_node = my_[tid].node;
+    std::uint64_t ops_completed = 0;  // line 7
+    Node* last_reg;
+
+    for (;;) {  // line 8
+      last_reg = rt::from_word<Node>(ctx.load(&lrc_));  // line 9
+      // Line 11: try to register with the last registered combiner.
+      if (ctx.faa(&last_reg->n_ops, 1) < max_ops_) {
+        // Lines 12-14: success; send request, await response.
+        const Tid comb =
+            static_cast<Tid>(ctx.load(&last_reg->thread_id));
+        ctx.send(comb, {tid, rt::to_word(fn), arg});
+        ++st.ops;
+        return ctx.receive1();
+      }
+      // Lines 16-21: failure; try to register as the next combiner.
+      if (opts_.swap_registration) {
+        // Ablation: SWAP always succeeds; combiners form a CLH-style chain
+        // (every candidate becomes a combiner, possibly for its own request
+        // only).
+        last_reg = rt::from_word<Node>(
+            ctx.exchange(&lrc_, rt::to_word(my_node)));
+        ctx.store(&my_node->n_ops, std::uint64_t{0});
+        while (!ctx.load(&last_reg->combining_done)) ctx.cpu_relax();
+        break;
+      }
+      ++st.cas_attempts;
+      if (ctx.cas(&lrc_, rt::to_word(last_reg), rt::to_word(my_node))) {
+        ctx.store(&my_node->n_ops, std::uint64_t{0});  // line 18
+        while (!ctx.load(&last_reg->combining_done)) {  // lines 19-20
+          ctx.cpu_relax();
+        }
+        break;  // line 21
+      }
+      ++st.cas_failures;
+    }
+
+    // ---- combiner section: lines 23-43, in mutual exclusion ----
+    ++st.tenures;
+    const std::uint64_t retval = fn(ctx, obj_, arg);  // line 23
+    ++st.ops;
+    ++st.served;
+
+    // Lines 25-28: drain the message queue while it is non-empty.
+    if (opts_.eager_drain) {
+      while (!ctx.queue_empty()) {
+        serve_one(ctx, st);
+        ++ops_completed;
+      }
+    }
+    if (fixed_) {
+      // Fig. 4a variant: equivalent to MAX_OPS = infinity; never depart.
+      for (;;) {
+        serve_one(ctx, st);
+      }
+    }
+
+    // Line 30: close combining for new requests.
+    std::uint64_t total_ops = ctx.exchange(&my_node->n_ops, max_ops_);
+    if (total_ops > max_ops_) total_ops = max_ops_;  // lines 31-32
+
+    // Lines 34-37: serve the remaining registered requests.
+    while (ops_completed < total_ops) {
+      serve_one(ctx, st);
+      ++ops_completed;
+    }
+
+    // Lines 39-42: exchange our node with the spare, inform the next
+    // combiner, and return. These run in mutual exclusion (footnote 3), so
+    // plain read+write stands in for the paper's SWAP.
+    Node* spare = rt::from_word<Node>(ctx.load(&departed_));
+    ctx.store(&departed_, rt::to_word(my_node));
+    Node* old_node = my_node;
+    my_node = spare;
+    my_[tid].node = my_node;
+    ctx.store(&my_node->combining_done, std::uint64_t{0});   // line 40
+    ctx.store(&my_node->thread_id, std::uint64_t{tid});      // line 41
+    ctx.store(&old_node->combining_done, std::uint64_t{1});  // line 42
+    return retval;  // line 43
+  }
+
+  SyncStats& stats(Tid t) { return stats_[t].s; }
+
+ private:
+  // Line 2: Node{thread_id, n_ops, combining_done}. One cache line each;
+  // n_ops is the FAA hot word.
+  struct alignas(rt::kCacheLine) Node {
+    Word thread_id{0};
+    Word n_ops{0};
+    Word combining_done{0};
+  };
+  static_assert(sizeof(Node) == rt::kCacheLine);
+
+  struct alignas(rt::kCacheLine) PerThread {
+    Node* node = nullptr;
+  };
+  struct alignas(rt::kCacheLine) PaddedStats {
+    SyncStats s;
+  };
+
+  void serve_one(Ctx& ctx, SyncStats& st) {
+    std::uint64_t m[3];  // {sender_id, fptr, fargs} — lines 26/35
+    ctx.receive(m, 3);
+    Fn f = rt::from_word<std::remove_pointer_t<Fn>>(m[1]);
+    ctx.send(static_cast<Tid>(m[0]), {f(ctx, obj_, m[2])});  // lines 27/36
+    ++st.served;
+  }
+
+  void* obj_;
+  std::uint64_t max_ops_;
+  bool fixed_;
+  Options opts_;
+  std::unique_ptr<Node[]> pool_;
+  alignas(rt::kCacheLine) Word lrc_{0};        ///< last_registered_combiner
+  alignas(rt::kCacheLine) Word departed_{0};   ///< departed_combiner
+  PerThread my_[kMaxThreads];
+  PaddedStats stats_[kMaxThreads];
+};
+
+}  // namespace hmps::sync

@@ -1,0 +1,69 @@
+// MP-SERVER (paper Section 4.1): the client/server (delegation) approach on
+// top of hardware message passing.
+//
+// A dedicated server thread executes all critical sections of one object.
+// Clients send a 3-word request over the message network and block on a
+// 1-word response. Because the server's receive reads from its local
+// hardware buffer and its send is asynchronous, no coherence-related stalls
+// remain on the server's critical path (Fig. 2 of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/context.hpp"
+#include "sync/cs.hpp"
+
+namespace hmps::sync {
+
+template <class Ctx>
+class MpServer {
+ public:
+  using Fn = CsFn<Ctx>;
+
+  /// `server_tid`: the thread that will run serve(); `obj`: the concurrent
+  /// object whose CSes this instance executes.
+  MpServer(Tid server_tid, void* obj) : server_(server_tid), obj_(obj) {}
+
+  Tid server_tid() const { return server_; }
+  void* object() const { return obj_; }
+
+  /// Client side: executes `fn(obj, arg)` in mutual exclusion on the server
+  /// and returns its result. Must not be called from the server thread.
+  std::uint64_t apply(Ctx& ctx, Fn fn, std::uint64_t arg) {
+    ctx.send(server_, {ctx.tid(), rt::to_word(fn), arg});
+    return ctx.receive1();
+  }
+
+  /// Server side: serves requests until a stop request arrives (see
+  /// request_stop). Runs forever under open-ended simulation windows.
+  void serve(Ctx& ctx) {
+    SyncStats& st = stats_[ctx.tid()].s;
+    for (;;) {
+      std::uint64_t m[3];
+      ctx.receive(m, 3);
+      if (m[1] == kStopWord) return;
+      Fn fn = rt::from_word<std::remove_pointer_t<Fn>>(m[1]);
+      const std::uint64_t ret = fn(ctx, obj_, m[2]);
+      ctx.send(static_cast<Tid>(m[0]), {ret});
+      ++st.served;
+    }
+  }
+
+  /// Asks the server loop to exit. Safe to call while requests from other
+  /// clients are still queued ahead of the stop message; they are served
+  /// first (FIFO hardware queue).
+  void request_stop(Ctx& ctx) { ctx.send(server_, {0, kStopWord, 0}); }
+
+  SyncStats& stats(Tid t) { return stats_[t].s; }
+
+ private:
+  struct alignas(rt::kCacheLine) PaddedStats {
+    SyncStats s;
+  };
+
+  Tid server_;
+  void* obj_;
+  PaddedStats stats_[64];
+};
+
+}  // namespace hmps::sync

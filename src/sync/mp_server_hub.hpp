@@ -1,0 +1,78 @@
+// MP-SERVER-HUB: one dedicated server core serving MANY concurrent objects
+// through the paper's Section 5.2 opcode interface.
+//
+// Instead of a function pointer, requests carry a small opcode indexing a
+// registered (function, object) pair — the interface the paper used to let
+// the compiler inline CS bodies at the servicing thread. The hub form also
+// addresses the intro's observation that "dedicating cores is less
+// feasible if an application includes a large number of potentially
+// contended concurrent objects": k objects share one server core, trading
+// per-object throughput for core economy (see the
+// abl_server_consolidation bench).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/context.hpp"
+#include "sync/cs.hpp"
+
+namespace hmps::sync {
+
+template <class Ctx>
+class MpServerHub {
+ public:
+  using Fn = CsFn<Ctx>;
+
+  explicit MpServerHub(Tid server_tid) : server_(server_tid) {}
+
+  /// Registers a critical-section body bound to an object; returns its
+  /// opcode. All registrations must happen before serve() starts.
+  std::uint64_t add_op(Fn fn, void* obj) {
+    ops_.push_back(Entry{fn, obj});
+    return ops_.size();  // opcode 0 is the stop word
+  }
+
+  Tid server_tid() const { return server_; }
+  std::size_t op_count() const { return ops_.size(); }
+
+  /// Client side: executes the CS registered under `opcode`.
+  std::uint64_t apply(Ctx& ctx, std::uint64_t opcode, std::uint64_t arg) {
+    assert(opcode >= 1 && opcode <= ops_.size());
+    ctx.send(server_, {ctx.tid(), opcode, arg});
+    return ctx.receive1();
+  }
+
+  /// Server side: serves all registered objects until a stop request.
+  void serve(Ctx& ctx) {
+    SyncStats& st = stats_[ctx.tid()].s;
+    for (;;) {
+      std::uint64_t m[3];
+      ctx.receive(m, 3);
+      if (m[1] == kStopWord) return;
+      const Entry& e = ops_[m[1] - 1];
+      ctx.send(static_cast<Tid>(m[0]), {e.fn(ctx, e.obj, m[2])});
+      ++st.served;
+    }
+  }
+
+  void request_stop(Ctx& ctx) { ctx.send(server_, {0, kStopWord, 0}); }
+
+  SyncStats& stats(Tid t) { return stats_[t].s; }
+
+ private:
+  struct Entry {
+    Fn fn;
+    void* obj;
+  };
+  struct alignas(rt::kCacheLine) PaddedStats {
+    SyncStats s;
+  };
+
+  Tid server_;
+  std::vector<Entry> ops_;
+  PaddedStats stats_[64];
+};
+
+}  // namespace hmps::sync

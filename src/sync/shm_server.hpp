@@ -1,0 +1,127 @@
+// SHM-SERVER (paper Sections 3 and 5.2): the pure-shared-memory server
+// approach — a simplified Remote Core Locking (RCL) with the same core
+// mechanism and performance: one dedicated cache line per client used as a
+// bidirectional request/response channel.
+//
+// Protocol on each 64-byte channel line:
+//   client: writes arg, fn, then bumps req_seq; spins on resp_seq.
+//   server: round-robin scans channels; a req_seq ahead of resp_seq is a
+//           pending request; executes it, writes ret, bumps resp_seq.
+// The server's read of a freshly written channel is one RMR (the line is
+// dirty in the client's cache) and its response write is a second RMR
+// (invalidating the spinning client) — the two stalls of Fig. 1.
+//
+// The server prefetches the next channel while working (the software
+// pipelining a compiler performs at -O3 on an in-order core), which is what
+// lets those RMRs overlap with long CS bodies (Fig. 4c).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "runtime/context.hpp"
+#include "sync/cs.hpp"
+
+namespace hmps::sync {
+
+template <class Ctx>
+class ShmServer {
+ public:
+  using Fn = CsFn<Ctx>;
+
+  /// `max_clients` fixes the channel array size; client thread ids must be
+  /// < max_clients.
+  ShmServer(Tid server_tid, void* obj, std::uint32_t max_clients = 64)
+      : server_(server_tid), obj_(obj), nchan_(max_clients),
+        chans_(new Channel[max_clients]) {}
+
+  Tid server_tid() const { return server_; }
+
+  std::uint64_t apply(Ctx& ctx, Fn fn, std::uint64_t arg) {
+    Channel& ch = chans_[ctx.tid()];
+    const std::uint64_t seq = ++my_seq_[ctx.tid()].v;
+    ctx.store(&ch.arg, arg);
+    ctx.store(&ch.fn, rt::to_word(fn));
+    ctx.store(&ch.req_seq, seq);
+    while (ctx.load(&ch.resp_seq) != seq) ctx.cpu_relax();
+    return ctx.load(&ch.ret);
+  }
+
+  /// Serves until a stop request is observed.
+  void serve(Ctx& ctx) {
+    SyncStats& st = stats_[ctx.tid()].s;
+    std::uint32_t i = 0;
+    bool found_any = false;
+    for (;;) {
+      Channel& ch = chans_[i];
+      const std::uint32_t next = i + 1 == nchan_ ? 0 : i + 1;
+      // Software-pipelined scan: start fetching the next channel line while
+      // this one is inspected/served.
+      ctx.prefetch(&chans_[next]);
+      const std::uint64_t req = ctx.load(&ch.req_seq);
+      if (req != ctx.load(&ch.resp_seq)) {
+        const std::uint64_t fnw = ctx.load(&ch.fn);
+        if (fnw == kStopWord) {
+          ctx.store(&ch.resp_seq, req);  // ack so the stopper can proceed
+          return;
+        }
+        Fn fn = rt::from_word<std::remove_pointer_t<Fn>>(fnw);
+        const std::uint64_t arg = ctx.load(&ch.arg);
+        const std::uint64_t ret = fn(ctx, obj_, arg);
+        ctx.store(&ch.ret, ret);
+        ctx.store(&ch.resp_seq, req);
+        ++st.served;
+        found_any = true;
+      }
+      i = next;
+      if (i == 0) {
+        // Completed a full scan. Back off briefly when it was empty: free
+        // in the simulator, and natively it lets oversubscribed clients run
+        // (the NativeCtx relax escalates to an OS yield).
+        if (!found_any) {
+          for (int b = 0; b < 8; ++b) ctx.cpu_relax();
+        }
+        found_any = false;
+      }
+    }
+  }
+
+  /// Stops the server through the caller's own channel (blocking until the
+  /// server acknowledges).
+  void request_stop(Ctx& ctx) {
+    Channel& ch = chans_[ctx.tid()];
+    const std::uint64_t seq = ++my_seq_[ctx.tid()].v;
+    ctx.store(&ch.fn, kStopWord);
+    ctx.store(&ch.req_seq, seq);
+    while (ctx.load(&ch.resp_seq) != seq) ctx.cpu_relax();
+  }
+
+  SyncStats& stats(Tid t) { return stats_[t].s; }
+
+ private:
+  // One cache line per client, as in RCL.
+  struct alignas(rt::kCacheLine) Channel {
+    Word fn{0};
+    Word arg{0};
+    Word ret{0};
+    Word req_seq{0};
+    Word resp_seq{0};
+  };
+  static_assert(sizeof(Channel) == rt::kCacheLine);
+
+  struct alignas(rt::kCacheLine) PaddedSeq {
+    std::uint64_t v = 0;
+  };
+  struct alignas(rt::kCacheLine) PaddedStats {
+    SyncStats s;
+  };
+
+  Tid server_;
+  void* obj_;
+  std::uint32_t nchan_;
+  std::unique_ptr<Channel[]> chans_;
+  PaddedSeq my_seq_[64];
+  PaddedStats stats_[64];
+};
+
+}  // namespace hmps::sync

@@ -1,0 +1,293 @@
+// Correctness of the algorithms under REAL hardware concurrency via
+// NativeCtx: the same templates that run on the simulator, backed by
+// std::atomic and software MPSC channels. This container exposes a single
+// hardware thread, so these tests exercise preemption-driven interleavings
+// rather than parallelism — still a meaningful, different adversary from
+// the deterministic simulator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "ds/counter.hpp"
+#include "ds/lcrq.hpp"
+#include "ds/queue.hpp"
+#include "ds/stack.hpp"
+#include "runtime/mpsc_channel.hpp"
+#include "runtime/native_context.hpp"
+#include "sync/ccsynch.hpp"
+#include "sync/hybcomb.hpp"
+#include "sync/locks.hpp"
+#include "sync/mp_server.hpp"
+#include "sync/shm_server.hpp"
+#include "sync/universal.hpp"
+
+namespace hmps {
+namespace {
+
+using rt::MpscChannel;
+using rt::NativeCtx;
+using rt::NativeEnv;
+
+TEST(MpscChannel, SingleThreadRoundTrip) {
+  MpscChannel ch(8);
+  const std::uint64_t msg[3] = {7, 8, 9};
+  ASSERT_TRUE(ch.try_send(msg, 3));
+  std::uint64_t out[MpscChannel::kMaxWords];
+  ASSERT_EQ(ch.try_recv(out), 3u);
+  EXPECT_EQ(out[0], 7u);
+  EXPECT_EQ(out[2], 9u);
+  EXPECT_TRUE(ch.empty());
+  EXPECT_EQ(ch.try_recv(out), 0u);
+}
+
+TEST(MpscChannel, FillsAndReportsFull) {
+  MpscChannel ch(4);
+  const std::uint64_t w = 1;
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ch.try_send(&w, 1));
+  EXPECT_FALSE(ch.try_send(&w, 1));
+  std::uint64_t out[MpscChannel::kMaxWords];
+  EXPECT_EQ(ch.try_recv(out), 1u);
+  EXPECT_TRUE(ch.try_send(&w, 1));  // slot freed
+}
+
+TEST(MpscChannel, MultiProducerNoLossNoDup) {
+  MpscChannel ch(256);
+  constexpr int kProducers = 4, kEach = 5000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < kEach; ++i) {
+        const std::uint64_t w =
+            (static_cast<std::uint64_t>(p) << 32) | static_cast<std::uint32_t>(i);
+        ch.send(&w, 1);
+      }
+    });
+  }
+  std::vector<std::uint64_t> got;
+  std::uint64_t out[MpscChannel::kMaxWords];
+  while (got.size() < kProducers * kEach) {
+    if (ch.try_recv(out)) got.push_back(out[0]);
+  }
+  for (auto& t : producers) t.join();
+  std::sort(got.begin(), got.end());
+  EXPECT_TRUE(std::adjacent_find(got.begin(), got.end()) == got.end());
+  // Per-producer FIFO: values of one producer arrive in order.
+  std::vector<std::int64_t> last(kProducers, -1);
+  // (after sort this is trivially true; recheck on the unsorted copy below)
+}
+
+TEST(MpscChannel, PerProducerFifo) {
+  MpscChannel ch(64);
+  constexpr int kEach = 3000;
+  std::thread producer([&ch] {
+    for (int i = 0; i < kEach; ++i) {
+      const std::uint64_t w = static_cast<std::uint64_t>(i);
+      ch.send(&w, 1);
+    }
+  });
+  std::uint64_t expect = 0;
+  std::uint64_t out[MpscChannel::kMaxWords];
+  while (expect < kEach) {
+    if (ch.try_recv(out)) {
+      ASSERT_EQ(out[0], expect);
+      ++expect;
+    }
+  }
+  producer.join();
+}
+
+// ---- universal constructions, native ----
+
+enum class Kind { kCcSynch, kHybComb, kMpServer, kShmServer, kMcs, kTicket };
+
+std::uint64_t run_native_counter(Kind kind, std::uint32_t nthreads,
+                                 std::uint64_t ops_each) {
+  const std::uint32_t total =
+      nthreads + ((kind == Kind::kMpServer || kind == Kind::kShmServer) ? 1 : 0);
+  NativeEnv env(total);
+  ds::SeqCounter counter;
+
+  sync::CcSynch<NativeCtx> cc(&counter, 16);
+  sync::HybComb<NativeCtx> hyb(&counter, 16);
+  sync::MpServer<NativeCtx> mp(0, &counter);
+  sync::ShmServer<NativeCtx> shm(0, &counter);
+  sync::LockUc<NativeCtx, sync::McsLock<NativeCtx>> mcs(&counter);
+  sync::LockUc<NativeCtx, sync::TicketLock<NativeCtx>> ticket(&counter);
+
+  std::vector<std::thread> threads;
+  std::atomic<std::uint32_t> done{0};
+
+  if (kind == Kind::kMpServer || kind == Kind::kShmServer) {
+    threads.emplace_back([&] {
+      NativeCtx ctx(env, 0, 1);
+      if (kind == Kind::kMpServer) {
+        mp.serve(ctx);
+      } else {
+        shm.serve(ctx);
+      }
+    });
+  }
+  const std::uint32_t base = (total > nthreads) ? 1 : 0;
+  for (std::uint32_t i = 0; i < nthreads; ++i) {
+    threads.emplace_back([&, i] {
+      NativeCtx ctx(env, base + i, 100 + i);
+      for (std::uint64_t k = 0; k < ops_each; ++k) {
+        switch (kind) {
+          case Kind::kCcSynch:
+            cc.apply(ctx, ds::counter_inc<NativeCtx>, 0);
+            break;
+          case Kind::kHybComb:
+            hyb.apply(ctx, ds::counter_inc<NativeCtx>, 0);
+            break;
+          case Kind::kMpServer:
+            mp.apply(ctx, ds::counter_inc<NativeCtx>, 0);
+            break;
+          case Kind::kShmServer:
+            shm.apply(ctx, ds::counter_inc<NativeCtx>, 0);
+            break;
+          case Kind::kMcs:
+            mcs.apply(ctx, ds::counter_inc<NativeCtx>, 0);
+            break;
+          case Kind::kTicket:
+            ticket.apply(ctx, ds::counter_inc<NativeCtx>, 0);
+            break;
+        }
+      }
+      if (done.fetch_add(1) + 1 == nthreads &&
+          (kind == Kind::kMpServer || kind == Kind::kShmServer)) {
+        NativeCtx ctx2(env, base + i, 999);
+        // Clients are drained (they stop between ops); shut the server down
+        // through this thread's own identity.
+        if (kind == Kind::kMpServer) {
+          mp.request_stop(ctx);
+        } else {
+          shm.request_stop(ctx);
+        }
+        (void)ctx2;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return counter.value.load();
+}
+
+class NativeUc
+    : public ::testing::TestWithParam<std::tuple<Kind, std::uint32_t>> {};
+
+TEST_P(NativeUc, CounterIsExact) {
+  const auto [kind, nthreads] = GetParam();
+  const std::uint64_t ops_each = 3000;
+  EXPECT_EQ(run_native_counter(kind, nthreads, ops_each),
+            static_cast<std::uint64_t>(nthreads) * ops_each);
+}
+
+std::string NativeUcName(
+    const ::testing::TestParamInfo<std::tuple<Kind, std::uint32_t>>& info) {
+  static const char* names[] = {"CcSynch", "HybComb", "MpServer",
+                                "ShmServer", "Mcs", "Ticket"};
+  return std::string(names[static_cast<int>(std::get<0>(info.param))]) +
+         "_t" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, NativeUc,
+    ::testing::Combine(::testing::Values(Kind::kCcSynch, Kind::kHybComb,
+                                         Kind::kMpServer, Kind::kShmServer,
+                                         Kind::kMcs, Kind::kTicket),
+                       ::testing::Values(1u, 2u, 4u)),
+    NativeUcName);
+
+TEST(NativeDs, LcrqMultiThreadNoLoss) {
+  NativeEnv env(4);
+  ds::Lcrq<NativeCtx> q(5, 4096);
+  constexpr int kThreads = 4, kEach = 4000;
+  std::vector<std::vector<std::uint32_t>> popped(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<int> done{0};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      NativeCtx ctx(env, i, 5 + i);
+      for (int k = 0; k < kEach; ++k) {
+        q.enqueue(ctx, static_cast<std::uint32_t>((i << 20) | k));
+        const std::uint32_t v = q.dequeue(ctx);
+        if (v != ds::kLcrqEmpty) popped[i].push_back(v);
+      }
+      if (done.fetch_add(1) + 1 == kThreads) {
+        for (;;) {
+          const std::uint32_t v = q.dequeue(ctx);
+          if (v == ds::kLcrqEmpty) break;
+          popped[i].push_back(v);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<std::uint32_t> all;
+  for (auto& v : popped) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kEach);
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+}
+
+TEST(NativeDs, TreiberMultiThreadNoLoss) {
+  NativeEnv env(4);
+  ds::TreiberStack<NativeCtx> s(8192);
+  constexpr int kThreads = 4, kEach = 4000;
+  std::vector<std::vector<std::uint64_t>> popped(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<int> done{0};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      NativeCtx ctx(env, i, 5 + i);
+      for (int k = 0; k < kEach; ++k) {
+        s.push(ctx, static_cast<std::uint64_t>((i << 20) | k));
+        const std::uint64_t v = s.pop(ctx);
+        if (v != ds::kStackEmpty) popped[i].push_back(v);
+      }
+      if (done.fetch_add(1) + 1 == kThreads) {
+        for (;;) {
+          const std::uint64_t v = s.pop(ctx);
+          if (v == ds::kStackEmpty) break;
+          popped[i].push_back(v);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<std::uint64_t> all;
+  for (auto& v : popped) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kEach);
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+}
+
+TEST(NativeDs, UcQueueFifoUnderTwoThreads) {
+  NativeEnv env(2);
+  ds::SeqQueue q(1 << 15);
+  sync::CcSynch<NativeCtx> cc(&q, 16);
+  ds::UcQueue<NativeCtx, sync::CcSynch<NativeCtx>> queue(q, cc);
+  constexpr std::uint64_t kN = 10000;
+  std::thread producer([&] {
+    NativeCtx ctx(env, 0, 3);
+    for (std::uint64_t i = 0; i < kN; ++i) queue.enqueue(ctx, i);
+  });
+  std::thread consumer([&] {
+    NativeCtx ctx(env, 1, 4);
+    std::uint64_t expect = 0;
+    while (expect < kN) {
+      const std::uint64_t v = queue.dequeue(ctx);
+      if (v == ds::kQEmpty) continue;
+      ASSERT_EQ(v, expect);
+      ++expect;
+    }
+  });
+  producer.join();
+  consumer.join();
+}
+
+}  // namespace
+}  // namespace hmps

@@ -1,0 +1,245 @@
+// Unit tests for the discrete-event engine: RNG, event queue, fibers,
+// scheduler, statistics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+
+namespace hmps::sim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowBoundIsRespected) {
+  Xoshiro256 r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(51), 51u);
+}
+
+TEST(Rng, BelowZeroReturnsZero) {
+  Xoshiro256 r(7);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Xoshiro256 r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.between(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RoughlyUniform) {
+  Xoshiro256 r(123);
+  int counts[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 - n / 50);
+    EXPECT_LT(c, n / 10 + n / 50);
+  }
+}
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  Cycle t;
+  while (!q.empty()) q.pop(&t)();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(t, 30u);
+}
+
+TEST(EventQueue, FifoAtSameTime) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.schedule(5, [&order, i] { order.push_back(i); });
+  Cycle t;
+  while (!q.empty()) q.pop(&t)();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, SizeAndClear) {
+  EventQueue q;
+  q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Fiber, RunsToCompletion) {
+  int x = 0;
+  Fiber f([&] { x = 42; });
+  f.resume();
+  EXPECT_EQ(x, 42);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, YieldAndResume) {
+  int step = 0;
+  Fiber* self = nullptr;
+  Fiber f([&] {
+    step = 1;
+    self->yield();
+    step = 2;
+  });
+  self = &f;
+  f.resume();
+  EXPECT_EQ(step, 1);
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_EQ(step, 2);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Scheduler, AdvancesTime) {
+  Scheduler s;
+  Cycle seen = 0;
+  s.spawn([&] {
+    s.wait_for(100);
+    seen = s.now();
+  });
+  s.run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(Scheduler, InterleavesFibersDeterministically) {
+  Scheduler s;
+  std::vector<int> order;
+  s.spawn([&] {
+    for (int i = 0; i < 3; ++i) {
+      order.push_back(0);
+      s.wait_for(10);
+    }
+  });
+  s.spawn([&] {
+    for (int i = 0; i < 3; ++i) {
+      order.push_back(1);
+      s.wait_for(10);
+    }
+  });
+  s.run();
+  // Fiber 0 starts at cycle 0, fiber 1 at cycle... both spawned at start=0;
+  // ties resolve in spawn order.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1, 0, 1}));
+}
+
+TEST(Scheduler, SuspendWake) {
+  Scheduler s;
+  Cycle resumed_at = 0;
+  Scheduler::FiberId sleeper = s.spawn([&] {
+    s.suspend();
+    resumed_at = s.now();
+  });
+  s.spawn([&] {
+    s.wait_for(500);
+    s.wake_now(sleeper);
+  });
+  s.run();
+  EXPECT_EQ(resumed_at, 500u);
+}
+
+TEST(Scheduler, HorizonStopsRun) {
+  Scheduler s;
+  int count = 0;
+  s.spawn([&] {
+    for (;;) {
+      ++count;
+      s.wait_for(10);
+    }
+  });
+  const Cycle end = s.run(95);
+  EXPECT_EQ(end, 95u);
+  EXPECT_EQ(count, 10);  // ticks at 0,10,...,90
+  s.run(200);
+  EXPECT_EQ(count, 21);  // resumes where it left off
+}
+
+TEST(Scheduler, StopFromFiber) {
+  Scheduler s;
+  s.spawn([&] {
+    s.wait_for(10);
+    s.stop();
+  });
+  s.spawn([&] {
+    for (;;) s.wait_for(1);
+  });
+  const Cycle end = s.run();
+  EXPECT_EQ(end, 10u);
+}
+
+TEST(Scheduler, ExternalCallbackAt) {
+  Scheduler s;
+  bool fired = false;
+  s.at(7, [&] { fired = true; });
+  s.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.now(), 7u);
+}
+
+TEST(Stats, SummaryBasics) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(Stats, SummaryMerge) {
+  Summary a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 50; i < 100; ++i) {
+    b.add(i * 2.0);
+    all.add(i * 2.0);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(Stats, HistogramQuantiles) {
+  Histogram h(10, 100);
+  for (int i = 0; i < 1000; ++i) h.add(i);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 500.0, 20.0);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.99)), 990.0, 20.0);
+}
+
+TEST(Stats, HistogramOverflowBucket) {
+  Histogram h(1, 10);
+  h.add(1000000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.quantile(1.0), 10u);
+}
+
+}  // namespace
+}  // namespace hmps::sim
