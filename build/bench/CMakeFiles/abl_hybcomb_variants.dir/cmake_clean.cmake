@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hybcomb_variants.dir/abl_hybcomb_variants.cpp.o"
+  "CMakeFiles/abl_hybcomb_variants.dir/abl_hybcomb_variants.cpp.o.d"
+  "abl_hybcomb_variants"
+  "abl_hybcomb_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hybcomb_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

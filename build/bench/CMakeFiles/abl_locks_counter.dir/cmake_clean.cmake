@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_locks_counter.dir/abl_locks_counter.cpp.o"
+  "CMakeFiles/abl_locks_counter.dir/abl_locks_counter.cpp.o.d"
+  "abl_locks_counter"
+  "abl_locks_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_locks_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

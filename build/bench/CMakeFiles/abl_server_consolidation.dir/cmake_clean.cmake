@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_server_consolidation.dir/abl_server_consolidation.cpp.o"
+  "CMakeFiles/abl_server_consolidation.dir/abl_server_consolidation.cpp.o.d"
+  "abl_server_consolidation"
+  "abl_server_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_server_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

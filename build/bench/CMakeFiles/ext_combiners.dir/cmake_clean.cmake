@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_combiners.dir/ext_combiners.cpp.o"
+  "CMakeFiles/ext_combiners.dir/ext_combiners.cpp.o.d"
+  "ext_combiners"
+  "ext_combiners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_combiners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_counter_latency.dir/fig3b_counter_latency.cpp.o"
+  "CMakeFiles/fig3b_counter_latency.dir/fig3b_counter_latency.cpp.o.d"
+  "fig3b_counter_latency"
+  "fig3b_counter_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_counter_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

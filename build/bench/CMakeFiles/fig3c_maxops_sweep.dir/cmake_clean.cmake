@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_maxops_sweep.dir/fig3c_maxops_sweep.cpp.o"
+  "CMakeFiles/fig3c_maxops_sweep.dir/fig3c_maxops_sweep.cpp.o.d"
+  "fig3c_maxops_sweep"
+  "fig3c_maxops_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_maxops_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_stall_breakdown.dir/fig4a_stall_breakdown.cpp.o"
+  "CMakeFiles/fig4a_stall_breakdown.dir/fig4a_stall_breakdown.cpp.o.d"
+  "fig4a_stall_breakdown"
+  "fig4a_stall_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_stall_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

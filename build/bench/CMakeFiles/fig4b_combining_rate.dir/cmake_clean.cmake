@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_combining_rate.dir/fig4b_combining_rate.cpp.o"
+  "CMakeFiles/fig4b_combining_rate.dir/fig4b_combining_rate.cpp.o.d"
+  "fig4b_combining_rate"
+  "fig4b_combining_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_combining_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

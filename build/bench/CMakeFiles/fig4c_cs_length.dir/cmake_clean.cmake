@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_cs_length.dir/fig4c_cs_length.cpp.o"
+  "CMakeFiles/fig4c_cs_length.dir/fig4c_cs_length.cpp.o.d"
+  "fig4c_cs_length"
+  "fig4c_cs_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_cs_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

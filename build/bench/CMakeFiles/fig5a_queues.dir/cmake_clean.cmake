@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_queues.dir/fig5a_queues.cpp.o"
+  "CMakeFiles/fig5a_queues.dir/fig5a_queues.cpp.o.d"
+  "fig5a_queues"
+  "fig5a_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

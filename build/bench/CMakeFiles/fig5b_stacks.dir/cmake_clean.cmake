@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_stacks.dir/fig5b_stacks.cpp.o"
+  "CMakeFiles/fig5b_stacks.dir/fig5b_stacks.cpp.o.d"
+  "fig5b_stacks"
+  "fig5b_stacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macro_taskpool.dir/macro_taskpool.cpp.o"
+  "CMakeFiles/macro_taskpool.dir/macro_taskpool.cpp.o.d"
+  "macro_taskpool"
+  "macro_taskpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macro_taskpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_micro.dir/native_micro.cpp.o"
+  "CMakeFiles/native_micro.dir/native_micro.cpp.o.d"
+  "native_micro"
+  "native_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

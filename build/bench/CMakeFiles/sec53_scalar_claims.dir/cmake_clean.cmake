@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_scalar_claims.dir/sec53_scalar_claims.cpp.o"
+  "CMakeFiles/sec53_scalar_claims.dir/sec53_scalar_claims.cpp.o.d"
+  "sec53_scalar_claims"
+  "sec53_scalar_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_scalar_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

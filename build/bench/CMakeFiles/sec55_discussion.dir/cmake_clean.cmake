@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec55_discussion.dir/sec55_discussion.cpp.o"
+  "CMakeFiles/sec55_discussion.dir/sec55_discussion.cpp.o.d"
+  "sec55_discussion"
+  "sec55_discussion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec55_discussion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

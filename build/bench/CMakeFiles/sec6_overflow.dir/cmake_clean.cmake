@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_overflow.dir/sec6_overflow.cpp.o"
+  "CMakeFiles/sec6_overflow.dir/sec6_overflow.cpp.o.d"
+  "sec6_overflow"
+  "sec6_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_probe.dir/machine_probe.cpp.o"
+  "CMakeFiles/machine_probe.dir/machine_probe.cpp.o.d"
+  "machine_probe"
+  "machine_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/coherence.cpp" "src/arch/CMakeFiles/hmps_arch.dir/coherence.cpp.o" "gcc" "src/arch/CMakeFiles/hmps_arch.dir/coherence.cpp.o.d"
+  "/root/repo/src/arch/noc.cpp" "src/arch/CMakeFiles/hmps_arch.dir/noc.cpp.o" "gcc" "src/arch/CMakeFiles/hmps_arch.dir/noc.cpp.o.d"
+  "/root/repo/src/arch/udn.cpp" "src/arch/CMakeFiles/hmps_arch.dir/udn.cpp.o" "gcc" "src/arch/CMakeFiles/hmps_arch.dir/udn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hmps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmps_arch.dir/coherence.cpp.o"
+  "CMakeFiles/hmps_arch.dir/coherence.cpp.o.d"
+  "CMakeFiles/hmps_arch.dir/noc.cpp.o"
+  "CMakeFiles/hmps_arch.dir/noc.cpp.o.d"
+  "CMakeFiles/hmps_arch.dir/udn.cpp.o"
+  "CMakeFiles/hmps_arch.dir/udn.cpp.o.d"
+  "libhmps_arch.a"
+  "libhmps_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmps_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

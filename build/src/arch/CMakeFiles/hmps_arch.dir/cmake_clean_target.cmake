@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhmps_arch.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/history.cpp" "src/harness/CMakeFiles/hmps_harness.dir/history.cpp.o" "gcc" "src/harness/CMakeFiles/hmps_harness.dir/history.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/harness/CMakeFiles/hmps_harness.dir/report.cpp.o" "gcc" "src/harness/CMakeFiles/hmps_harness.dir/report.cpp.o.d"
+  "/root/repo/src/harness/workload.cpp" "src/harness/CMakeFiles/hmps_harness.dir/workload.cpp.o" "gcc" "src/harness/CMakeFiles/hmps_harness.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/hmps_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hmps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmps_harness.dir/history.cpp.o"
+  "CMakeFiles/hmps_harness.dir/history.cpp.o.d"
+  "CMakeFiles/hmps_harness.dir/report.cpp.o"
+  "CMakeFiles/hmps_harness.dir/report.cpp.o.d"
+  "CMakeFiles/hmps_harness.dir/workload.cpp.o"
+  "CMakeFiles/hmps_harness.dir/workload.cpp.o.d"
+  "libhmps_harness.a"
+  "libhmps_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmps_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

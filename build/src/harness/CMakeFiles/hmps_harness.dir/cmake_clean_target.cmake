@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhmps_harness.a"
+)

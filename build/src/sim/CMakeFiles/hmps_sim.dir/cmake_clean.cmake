@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmps_sim.dir/fiber.cpp.o"
+  "CMakeFiles/hmps_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/hmps_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/hmps_sim.dir/scheduler.cpp.o.d"
+  "libhmps_sim.a"
+  "libhmps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ds_sim.dir/test_ds_sim.cpp.o"
+  "CMakeFiles/test_ds_sim.dir/test_ds_sim.cpp.o.d"
+  "test_ds_sim"
+  "test_ds_sim.pdb"
+  "test_ds_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_params.dir/test_fuzz_params.cpp.o"
+  "CMakeFiles/test_fuzz_params.dir/test_fuzz_params.cpp.o.d"
+  "test_fuzz_params"
+  "test_fuzz_params.pdb"
+  "test_fuzz_params[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hub.dir/test_hub.cpp.o"
+  "CMakeFiles/test_hub.dir/test_hub.cpp.o.d"
+  "test_hub"
+  "test_hub.pdb"
+  "test_hub[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

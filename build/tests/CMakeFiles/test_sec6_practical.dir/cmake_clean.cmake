@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sec6_practical.dir/test_sec6_practical.cpp.o"
+  "CMakeFiles/test_sec6_practical.dir/test_sec6_practical.cpp.o.d"
+  "test_sec6_practical"
+  "test_sec6_practical.pdb"
+  "test_sec6_practical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sec6_practical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stress_engine.dir/test_stress_engine.cpp.o"
+  "CMakeFiles/test_stress_engine.dir/test_stress_engine.cpp.o.d"
+  "test_stress_engine"
+  "test_stress_engine.pdb"
+  "test_stress_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stress_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

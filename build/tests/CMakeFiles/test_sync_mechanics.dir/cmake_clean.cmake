@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_mechanics.dir/test_sync_mechanics.cpp.o"
+  "CMakeFiles/test_sync_mechanics.dir/test_sync_mechanics.cpp.o.d"
+  "test_sync_mechanics"
+  "test_sync_mechanics.pdb"
+  "test_sync_mechanics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_mechanics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_sync_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_ds_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_native[1]_include.cmake")
+include("/root/repo/build/tests/test_history[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_sec6_practical[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_ds_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_hub[1]_include.cmake")
+include("/root/repo/build/tests/test_noc[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_profiler[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_params[1]_include.cmake")
+include("/root/repo/build/tests/test_sync_mechanics[1]_include.cmake")
+include("/root/repo/build/tests/test_stress_engine[1]_include.cmake")
+add_test(plot_ascii_smoke "/usr/bin/cmake" "-E" "env" "/root/.pyenv/shims/python3" "/root/repo/scripts/plot_ascii.py" "/root/repo/tests/data/sample_fig.csv" "--width" "40" "--height" "10")
+set_tests_properties(plot_ascii_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;35;add_test;/root/repo/tests/CMakeLists.txt;0;")
