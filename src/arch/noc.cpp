@@ -6,42 +6,54 @@ NocModel::NocModel(const MachineParams& p, const MeshTopology& topo)
     : p_(p), topo_(topo), w_(p.mesh_w), h_(p.mesh_h),
       busy_(static_cast<std::size_t>(w_) * h_ * kDirs, 0) {}
 
+void NocModel::build_route_table() {
+  const std::size_t cores = topo_.cores();
+  route_offs_.reserve(cores * cores + 1);
+  route_offs_.push_back(0);
+  for (std::size_t src = 0; src < cores; ++src) {
+    for (std::size_t dst = 0; dst < cores; ++dst) {
+      Coord cur = topo_.coord(static_cast<Tid>(src));
+      const Coord end = topo_.coord(static_cast<Tid>(dst));
+      // Dimension-ordered: X first, then Y (TILE-Gx UDN routing).
+      while (cur.x != end.x) {
+        const bool east = cur.x < end.x;
+        route_links_.push_back(static_cast<std::uint32_t>(
+            link_index(static_cast<std::uint32_t>(cur.x),
+                       static_cast<std::uint32_t>(cur.y),
+                       east ? kEast : kWest)));
+        cur.x += east ? 1 : -1;
+      }
+      while (cur.y != end.y) {
+        const bool south = cur.y < end.y;
+        route_links_.push_back(static_cast<std::uint32_t>(
+            link_index(static_cast<std::uint32_t>(cur.x),
+                       static_cast<std::uint32_t>(cur.y),
+                       south ? kSouth : kNorth)));
+        cur.y += south ? 1 : -1;
+      }
+      route_offs_.push_back(static_cast<std::uint32_t>(route_links_.size()));
+    }
+  }
+}
+
 Cycle NocModel::route(Tid src, Tid dst, Cycle inject_time,
                       std::uint32_t words) {
+  if (route_offs_.empty()) build_route_table();
   ++counters_.messages;
-  Coord cur = topo_.coord(src);
-  const Coord end = topo_.coord(dst);
   Cycle t = inject_time + p_.router;
   const Cycle hold = p_.udn_per_word_wire * static_cast<Cycle>(words);
 
-  auto hop = [&](Dir d, std::int32_t dx, std::int32_t dy) {
-    const std::size_t li = link_index(static_cast<std::uint32_t>(cur.x),
-                                      static_cast<std::uint32_t>(cur.y), d);
-    Cycle& b = busy_[li];
+  const std::size_t pair = static_cast<std::size_t>(src) * topo_.cores() + dst;
+  const std::uint32_t* link = route_links_.data() + route_offs_[pair];
+  const std::uint32_t* end = route_links_.data() + route_offs_[pair + 1];
+  for (; link != end; ++link) {
+    Cycle& b = busy_[*link];
     const Cycle start = b > t ? b : t;
     counters_.link_wait += start - t;
     // The link carries the message's flits back to back.
     b = start + hold;
     t = start + p_.hop;
-    cur.x += dx;
-    cur.y += dy;
     ++counters_.hops;
-  };
-
-  // Dimension-ordered: X first, then Y (TILE-Gx UDN routing).
-  while (cur.x != end.x) {
-    if (cur.x < end.x) {
-      hop(kEast, 1, 0);
-    } else {
-      hop(kWest, -1, 0);
-    }
-  }
-  while (cur.y != end.y) {
-    if (cur.y < end.y) {
-      hop(kSouth, 0, 1);
-    } else {
-      hop(kNorth, 0, -1);
-    }
   }
   return t;
 }

@@ -25,7 +25,12 @@ class NocModel {
   NocModel(const MachineParams& p, const MeshTopology& topo);
 
   /// Arrival time at `dst` of an `words`-word message injected at `src` at
-  /// `inject_time`, after queueing on every link of the XY route.
+  /// `inject_time`, after queueing on every link of the XY route. Routes are
+  /// resolved through a precomputed hop table (built lazily on first use):
+  /// the per-hop link indices of every (src, dst) pair are derived once, so
+  /// the per-message loop touches only the link reservation array. The
+  /// link_wait arithmetic is identical to walking the route coordinate by
+  /// coordinate.
   Cycle route(Tid src, Tid dst, Cycle inject_time, std::uint32_t words);
 
   struct Counters {
@@ -44,10 +49,20 @@ class NocModel {
     return (static_cast<std::size_t>(y) * w_ + x) * kDirs + d;
   }
 
+  /// Fills route_offs_ / route_links_ with the XY route of every ordered
+  /// (src, dst) pair. Meshes are small (fuzzing caps at 8x8), so the full
+  /// table is a few hundred KiB at worst.
+  void build_route_table();
+
   const MachineParams& p_;
   const MeshTopology& topo_;
   std::uint32_t w_, h_;
   std::vector<Cycle> busy_;  ///< per-link reservation horizon
+  /// Concatenated per-pair link-index lists; pair (src, dst) occupies
+  /// route_links_[route_offs_[src * cores + dst] ..
+  ///              route_offs_[src * cores + dst + 1]).
+  std::vector<std::uint32_t> route_links_;
+  std::vector<std::uint32_t> route_offs_;
   Counters counters_;
 };
 

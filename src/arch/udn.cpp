@@ -1,5 +1,6 @@
 #include "arch/udn.hpp"
 
+#include <bit>
 #include <cassert>
 
 namespace hmps::arch {
@@ -8,8 +9,14 @@ UdnModel::UdnModel(const MachineParams& p, const MeshTopology& topo,
                    sim::Scheduler& sched)
     : p_(p), topo_(topo), noc_(p, topo), sched_(sched), nq_(p.udn_queues),
       bufs_(topo.cores()) {
+  // Each ring holds a whole buffer's worth of words: credits cap resident +
+  // in-flight words per buffer at udn_buf_words, so any single queue can see
+  // at most that many staged words.
+  const std::size_t cap = std::bit_ceil(
+      static_cast<std::size_t>(p.udn_buf_words ? p.udn_buf_words : 1));
   for (auto& b : bufs_) {
     b.queues.resize(nq_);
+    for (auto& q : b.queues) q.init(cap);
     b.q_recv_waiters.resize(nq_);
   }
 }
@@ -49,11 +56,16 @@ void UdnModel::send(Tid src, Tid dst, std::uint32_t queue,
       p_.udn_per_word_wire * static_cast<Cycle>(n);
   b.port_busy = deliver;
 
-  std::vector<std::uint64_t> payload(words, words + n);
-  sched_.at(deliver, [this, dst, queue, payload = std::move(payload)] {
+  // Bulk-copy the payload into the destination ring now (the credit reserve
+  // above guarantees space) and schedule a small delivery event that only
+  // publishes the words. Staging order matches delivery order: deliver times
+  // per buffer are non-decreasing in send order via port_busy, and the event
+  // queue breaks ties in schedule order.
+  b.queues[queue].stage(words, n);
+  sched_.at(deliver, [this, dst, queue, n] {
     Buffer& buf = bufs_[dst];
     auto& q = buf.queues[queue];
-    for (std::uint64_t w : payload) q.push_back(w);
+    q.commit(n);
     // Wake the receiver if its demand is now satisfied.
     auto& waiters = buf.q_recv_waiters[queue];
     if (!waiters.empty() && q.size() >= waiters.front().need) {
@@ -76,10 +88,7 @@ void UdnModel::receive(Tid dst, std::uint32_t queue, std::uint64_t* out,
     b.q_recv_waiters[queue].push_back(Waiter{sched_.current(), n});
     sched_.suspend();
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    out[i] = q.front();
-    q.pop_front();
-  }
+  q.pop(out, n);
   assert(b.reserved >= n);
   b.reserved -= n;
   try_release_senders(b);

@@ -10,10 +10,22 @@
 //
 // send()/receive() must be called from inside scheduler fibers; delivery is
 // an ordinary discrete event.
+//
+// Hot-path layout (docs/ENGINE.md): each queue is a fixed-capacity
+// power-of-two ring of words sized from udn_buf_words, allocated once at
+// construction. send() bulk-copies the payload into the destination ring
+// immediately ("staging" — legal because the credit check has already
+// reserved the space) and schedules a tiny delivery event that merely makes
+// the words visible; receive() bulk-copies words out. No per-message heap
+// allocation, no word-at-a-time deque churn. Staging order equals delivery
+// order because ingress-port serialization makes delivery times per buffer
+// non-decreasing in send order, with the queue's (time, seq) total order
+// breaking ties the same way.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <deque>
+#include <cstring>
 #include <vector>
 
 #include "arch/noc.hpp"
@@ -26,6 +38,57 @@ namespace hmps::arch {
 
 using sim::Cycle;
 using sim::Tid;
+
+/// Fixed-capacity power-of-two ring of 64-bit words with a staging area:
+/// stage() copies words in at the reserved tail, commit() makes them
+/// visible, pop() copies them out. Indices are free-running; the mask wraps.
+class WordRing {
+ public:
+  void init(std::size_t capacity_pow2) {
+    assert(capacity_pow2 && (capacity_pow2 & (capacity_pow2 - 1)) == 0);
+    slots_.assign(capacity_pow2, 0);
+    mask_ = capacity_pow2 - 1;
+    head_ = tail_ = staged_ = 0;
+  }
+
+  /// Words currently visible to receive().
+  std::size_t size() const { return static_cast<std::size_t>(tail_ - head_); }
+  bool empty() const { return tail_ == head_; }
+
+  /// Copies `n` words into the ring at the staging tail. Caller guarantees
+  /// capacity (the UDN credit check reserves it).
+  void stage(const std::uint64_t* w, std::size_t n) {
+    assert(staged_ - head_ + n <= slots_.size());
+    const std::size_t pos = static_cast<std::size_t>(staged_) & mask_;
+    const std::size_t first = n < slots_.size() - pos ? n : slots_.size() - pos;
+    std::memcpy(slots_.data() + pos, w, first * sizeof(std::uint64_t));
+    std::memcpy(slots_.data(), w + first, (n - first) * sizeof(std::uint64_t));
+    staged_ += n;
+  }
+
+  /// Makes the next `n` staged words visible (delivery event).
+  void commit(std::size_t n) {
+    tail_ += n;
+    assert(tail_ <= staged_);
+  }
+
+  /// Copies the `n` oldest visible words out of the ring.
+  void pop(std::uint64_t* out, std::size_t n) {
+    assert(n <= size());
+    const std::size_t pos = static_cast<std::size_t>(head_) & mask_;
+    const std::size_t first = n < slots_.size() - pos ? n : slots_.size() - pos;
+    std::memcpy(out, slots_.data() + pos, first * sizeof(std::uint64_t));
+    std::memcpy(out + first, slots_.data(), (n - first) * sizeof(std::uint64_t));
+    head_ += n;
+  }
+
+ private:
+  std::vector<std::uint64_t> slots_;
+  std::size_t mask_ = 0;
+  std::uint64_t head_ = 0;    ///< next word to pop
+  std::uint64_t tail_ = 0;    ///< end of delivered (visible) words
+  std::uint64_t staged_ = 0;  ///< end of staged (in-flight) words
+};
 
 class UdnModel {
  public:
@@ -69,12 +132,31 @@ class UdnModel {
     std::size_t need;
   };
 
+  /// FIFO of blocked fibers. An index-fronted vector rather than a deque:
+  /// the vector's capacity is the pool, so steady-state block/wake cycles
+  /// allocate nothing (a deque allocates/frees map nodes periodically even
+  /// when its size just oscillates around zero).
+  struct WaiterFifo {
+    std::vector<Waiter> items;
+    std::size_t head = 0;
+
+    bool empty() const { return head == items.size(); }
+    const Waiter& front() const { return items[head]; }
+    void push_back(Waiter w) { items.push_back(w); }
+    void pop_front() {
+      if (++head == items.size()) {
+        items.clear();
+        head = 0;
+      }
+    }
+  };
+
   struct Buffer {
-    std::vector<std::deque<std::uint64_t>> queues;
+    std::vector<WordRing> queues;
     std::size_t reserved = 0;  ///< words in flight or resident (credits)
     Cycle port_busy = 0;       ///< ingress port serialization
-    std::vector<std::deque<Waiter>> q_recv_waiters;  ///< blocked receivers
-    std::deque<Waiter> send_waiters;  ///< senders blocked on credits
+    std::vector<WaiterFifo> q_recv_waiters;  ///< blocked receivers
+    WaiterFifo send_waiters;  ///< senders blocked on credits
   };
 
   void try_release_senders(Buffer& b);

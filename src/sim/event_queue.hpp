@@ -3,65 +3,360 @@
 // Events are ordered by (time, insertion sequence): two events scheduled for
 // the same cycle fire in the order they were scheduled. This total order is
 // what makes whole simulations bit-reproducible across runs.
+//
+// Engine hot path: every simulated cycle flows through schedule()/pop(), so
+// events avoid the heap entirely in steady state. Callbacks live inline in
+// pooled slots (EventFn below, 48 bytes of storage — every callback the
+// simulator itself schedules fits) and NEVER move while pending; ordering is
+// done on small POD nodes (time, seq, slot index) by a bucket timing wheel
+// with an overflow heap (see EventQueue below), giving O(1) schedule and pop
+// for the near-term deltas cycle-level models produce. Slots are recycled
+// through a free list; once pool, buckets, and heap have grown to the
+// high-water mark of a run, scheduling allocates nothing. EngineCounters
+// (sim/stats.hpp) track the two escape hatches — oversized callbacks
+// spilling to the heap and pool growth — so tests can assert the
+// zero-allocation contract instead of assuming it.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "sim/stats.hpp"
 #include "sim/types.hpp"
 
 namespace hmps::sim {
 
-class EventQueue {
+/// Move-only callable with small-buffer storage, sized so every callback on
+/// the simulator's critical path (fiber resumes, UDN deliveries, model
+/// timers) stays inline. Larger callables still work; they spill to a heap
+/// allocation, which the event queue counts.
+class EventFn {
  public:
-  using Callback = std::function<void()>;
+  static constexpr std::size_t kInlineBytes = 48;
 
-  /// Schedules `cb` to fire at absolute time `t`. `t` may be in the past
-  /// relative to already-popped events only if the caller knows what it is
-  /// doing (the scheduler never does this); it will fire "now".
-  void schedule(Cycle t, Callback cb) {
-    heap_.push(Event{t, next_seq_++, std::move(cb)});
+  template <class F>
+  static constexpr bool fits_inline =
+      sizeof(std::decay_t<F>) <= kInlineBytes &&
+      alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+  EventFn() = default;
+
+  template <class F,
+            std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn>, int> = 0>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
   }
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  /// Constructs the callable directly in this object's storage (destroying
+  /// any current one) — the hot path uses this to build callbacks in their
+  /// pool slot with no temporary and no relocate call.
+  template <class F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    if (ops_ && ops_->destroy) ops_->destroy(buf_);
+    if constexpr (fits_inline<F> && std::is_trivially_copyable_v<D> &&
+                  std::is_trivially_destructible_v<D>) {
+      // The common case: captures are pointers and integers. Null
+      // relocate/destroy mark "move = memcpy, destroy = no-op", so the only
+      // indirect call such an event ever pays is the invoke itself.
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kTrivialOps<D>;
+    } else if constexpr (fits_inline<F>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(buf_) = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& o) noexcept : ops_(o.ops_) {
+    if (ops_) {
+      if (ops_->relocate == nullptr) {
+        __builtin_memcpy(buf_, o.buf_, kInlineBytes);
+      } else {
+        ops_->relocate(buf_, o.buf_);
+      }
+      o.ops_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      if (ops_ && ops_->destroy) ops_->destroy(buf_);
+      ops_ = o.ops_;
+      if (ops_) {
+        if (ops_->relocate == nullptr) {
+          __builtin_memcpy(buf_, o.buf_, kInlineBytes);
+        } else {
+          ops_->relocate(buf_, o.buf_);
+        }
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  ~EventFn() {
+    if (ops_ && ops_->destroy) ops_->destroy(buf_);
+  }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs the callable at `dst` from `src` and destroys `src`.
+    /// nullptr means "memcpy the whole buffer" (trivially-copyable inline).
+    void (*relocate)(void* dst, void* src);
+    /// nullptr means "no-op" (trivially-destructible inline).
+    void (*destroy)(void*);
+  };
+
+  template <class D>
+  static constexpr Ops kTrivialOps{
+      [](void* p) { (*static_cast<D*>(p))(); },
+      nullptr,
+      nullptr,
+  };
+
+  template <class D>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* dst, void* src) {
+        D* s = static_cast<D*>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+  };
+
+  template <class D>
+  static constexpr Ops kHeapOps{
+      [](void* p) { (**reinterpret_cast<D**>(p))(); },
+      [](void* dst, void* src) {
+        *reinterpret_cast<D**>(dst) = *reinterpret_cast<D**>(src);
+      },
+      [](void* p) { delete *reinterpret_cast<D**>(p); },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+/// Bucket timing wheel with an overflow heap.
+///
+/// Near-term events (delta < kWheel cycles, i.e. essentially everything a
+/// cycle-level model schedules) go into the wheel bucket `time % kWheel` in
+/// O(1). Because simulated time is monotonic and every wheel entry satisfied
+/// `t - now < kWheel` when inserted, all live entries of one bucket share a
+/// single time value — so a bucket is a plain FIFO and its append order IS
+/// seq order. Far-future events go to a small 4-ary min-heap and compete
+/// with the wheel head by (time, seq) at pop, which preserves the global
+/// total order exactly. An occupancy bitmap makes "find the next non-empty
+/// bucket" a couple of word scans.
+class EventQueue {
+ public:
+  using Callback = EventFn;
+
+  /// Schedules `cb` to fire at absolute time `t`. A `t` earlier than the
+  /// last popped event's time fires "now" (the scheduler never passes one).
+  template <class F>
+  void schedule(Cycle t, F&& cb) {
+    if constexpr (!EventFn::fits_inline<F>) ++counters_.spill_allocs;
+    if (t < floor_) t = floor_;
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      if (pool_.size() == pool_.capacity()) ++counters_.heap_grows;
+      slot = static_cast<std::uint32_t>(pool_.size());
+      pool_.emplace_back();
+    }
+    pool_[slot].emplace(std::forward<F>(cb));
+    const Node n{t, next_seq_++, slot};
+    if (t - floor_ < kWheel) {
+      Bucket& b = buckets_[t & (kWheel - 1)];
+      if (b.items.size() == b.items.capacity()) ++counters_.heap_grows;
+      b.items.push_back(n);
+      occ_[(t & (kWheel - 1)) / 64] |= 1ull << (t % 64);
+      ++wheel_count_;
+    } else {
+      if (overflow_.size() == overflow_.capacity()) ++counters_.heap_grows;
+      overflow_.push_back(n);
+      sift_up(overflow_.size() - 1);
+    }
+    ++size_;
+    ++counters_.scheduled;
+    if (size_ > counters_.peak_depth) counters_.peak_depth = size_;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
 
   /// Time of the earliest pending event. Precondition: !empty().
-  Cycle next_time() const { return heap_.top().time; }
+  Cycle next_time() const { return peek().time; }
 
   /// Pops and returns the earliest event's callback, advancing `now` out.
   Callback pop(Cycle* now) {
-    // std::priority_queue::top() is const; the callback must be moved out,
-    // which is safe because we pop immediately after.
-    Event& top = const_cast<Event&>(heap_.top());
-    *now = top.time;
-    Callback cb = std::move(top.cb);
-    heap_.pop();
+    const Node n = peek();
+    if (!overflow_.empty() && overflow_.front().seq == n.seq) {
+      pop_overflow();
+    } else {
+      Bucket& b = buckets_[n.time & (kWheel - 1)];
+      if (++b.head == b.items.size()) {
+        b.items.clear();
+        b.head = 0;
+        occ_[(n.time & (kWheel - 1)) / 64] &= ~(1ull << (n.time % 64));
+      }
+      --wheel_count_;
+    }
+    floor_ = n.time;
+    *now = n.time;
+    Callback cb = std::move(pool_[n.slot]);
+    free_slots_.push_back(n.slot);
+    --size_;
+    ++counters_.executed;
     return cb;
   }
 
+  /// Drops all pending events in O(n + wheel size).
   void clear() {
-    while (!heap_.empty()) heap_.pop();
+    for (Bucket& b : buckets_) {
+      b.items.clear();
+      b.head = 0;
+    }
+    occ_.fill(0);
+    overflow_.clear();
+    pool_.clear();
+    free_slots_.clear();
+    wheel_count_ = 0;
+    size_ = 0;
   }
 
+  /// Pre-sizes the callable pool so the first `n` concurrent events never
+  /// grow the heap.
+  void reserve(std::size_t n) {
+    pool_.reserve(n);
+    free_slots_.reserve(n);
+  }
+
+  const EngineCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+
  private:
-  struct Event {
+  /// Wheel buckets per revolution. Covers every delta a cycle-level model
+  /// produces (wire latencies, think times); longer timers take the
+  /// overflow-heap path, which is merely O(log n), not wrong.
+  static constexpr std::size_t kWheel = 1024;
+
+  struct Node {
     Cycle time;
     std::uint64_t seq;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot;  ///< index of the callable in pool_
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// FIFO of same-time events; `head` fronts the vector so steady-state
+  /// drain/refill cycles never shift or reallocate.
+  struct Bucket {
+    std::vector<Node> items;
+    std::size_t head = 0;
+  };
+
+  /// Earliest pending event by (time, seq): the first entry of the next
+  /// occupied bucket at or after floor_, unless the overflow root beats it.
+  Node peek() const {
+    const Node* best = nullptr;
+    if (wheel_count_ > 0) {
+      const std::size_t start = floor_ & (kWheel - 1);
+      std::size_t w = start / 64;
+      std::uint64_t word = occ_[w] & (~0ull << (start % 64));
+      for (;;) {
+        if (word != 0) {
+          const std::size_t bit =
+              static_cast<std::size_t>(__builtin_ctzll(word));
+          const Bucket& b = buckets_[w * 64 + bit];
+          best = &b.items[b.head];
+          break;
+        }
+        w = (w + 1) % (kWheel / 64);
+        word = occ_[w];
+        // wheel_count_ > 0 guarantees termination within one revolution.
+      }
+    }
+    if (!overflow_.empty()) {
+      const Node& o = overflow_.front();
+      if (best == nullptr || o.time < best->time ||
+          (o.time == best->time && o.seq < best->seq)) {
+        return o;
+      }
+    }
+    return *best;
+  }
+
+  // Strict ordering of the (time, seq) pair; seq values are unique, so this
+  // is a total order.
+  static bool earlier(const Node& a, const Node& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  // Overflow heap: 4-ary min-heap, children of i are 4i+1..4i+4. Only
+  // far-future events (delta >= kWheel) ever live here.
+  static constexpr std::size_t kArity = 4;
+
+  void sift_up(std::size_t i) {
+    const Node e = overflow_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!earlier(e, overflow_[parent])) break;
+      overflow_[i] = overflow_[parent];
+      i = parent;
+    }
+    overflow_[i] = e;
+  }
+
+  void pop_overflow() {
+    const Node last = overflow_.back();
+    overflow_.pop_back();
+    if (overflow_.empty()) return;
+    // Walk the root hole down to `last`'s final position.
+    const std::size_t n = overflow_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = i * kArity + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = first + kArity < n ? first + kArity : n;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (earlier(overflow_[c], overflow_[best])) best = c;
+      }
+      if (!earlier(overflow_[best], last)) break;
+      overflow_[i] = overflow_[best];
+      i = best;
+    }
+    overflow_[i] = last;
+  }
+
+  std::array<Bucket, kWheel> buckets_;
+  std::array<std::uint64_t, kWheel / 64> occ_{};  ///< bucket occupancy bits
+  std::vector<Node> overflow_;             ///< heap of far-future events
+  std::vector<EventFn> pool_;              ///< slot-indexed callable storage
+  std::vector<std::uint32_t> free_slots_;  ///< recycled pool slots
+  std::size_t wheel_count_ = 0;  ///< events resident in wheel buckets
+  std::size_t size_ = 0;
+  Cycle floor_ = 0;  ///< time of the last popped event
   std::uint64_t next_seq_ = 0;
+  EngineCounters counters_;
 };
 
 }  // namespace hmps::sim

@@ -1,9 +1,15 @@
-// Cooperative fibers (stackful coroutines) built on POSIX ucontext.
+// Cooperative fibers (stackful coroutines).
 //
 // Each simulated hardware thread runs as one fiber; the discrete-event
 // scheduler switches between fibers on a single host thread, which is what
 // makes the whole simulation deterministic and data-race-free by
 // construction.
+//
+// On x86-64 ELF targets the switch is a hand-rolled, ABI-minimal context
+// swap (callee-saved registers only — no kernel entry); everywhere else it
+// falls back to POSIX ucontext, whose swapcontext pays a signal-mask syscall
+// pair per switch. Fiber stacks are recycled through a thread-local pool so
+// steady-state fiber creation allocates nothing. See docs/ENGINE.md.
 //
 // Lifetime note: a simulation window may end while fibers are blocked
 // (e.g. in a message receive). Such fibers are never resumed again and their
@@ -13,11 +19,31 @@
 // stacks.
 #pragma once
 
-#include <ucontext.h>
-
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <memory>
+
+#if !(defined(__x86_64__) && defined(__ELF__))
+#define HMPS_FIBER_UCONTEXT 1
+#include <ucontext.h>
+#else
+#define HMPS_FIBER_UCONTEXT 0
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define HMPS_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define HMPS_FIBER_ASAN 1
+#endif
+#endif
+#ifndef HMPS_FIBER_ASAN
+#define HMPS_FIBER_ASAN 0
+#endif
+
+#if !HMPS_FIBER_UCONTEXT
+extern "C" void hmps_fiber_entry();
+#endif
 
 namespace hmps::sim {
 
@@ -30,7 +56,7 @@ class Fiber {
 
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
-  ~Fiber() = default;
+  ~Fiber();
 
   /// Transfers control from the calling (host/scheduler) context into the
   /// fiber. Returns when the fiber yields or finishes.
@@ -47,13 +73,32 @@ class Fiber {
 
   static constexpr std::size_t kDefaultStack = 256 * 1024;
 
+  /// Stacks reused from the thread-local pool instead of freshly allocated
+  /// (observability for the zero-allocation tests and BENCH_engine.json).
+  static std::uint64_t stack_pool_hits();
+
  private:
+#if !HMPS_FIBER_UCONTEXT
+  friend void ::hmps_fiber_entry();
+#endif
+
   static void trampoline();
 
   std::function<void()> fn_;
-  std::unique_ptr<char[]> stack_;
+  char* stack_;  ///< owned; recycled through a thread-local stack pool
+  std::size_t stack_bytes_;
+#if HMPS_FIBER_UCONTEXT
   ucontext_t ctx_{};
   ucontext_t caller_{};
+#else
+  void* ctx_sp_ = nullptr;     ///< fiber's parked stack pointer
+  void* caller_sp_ = nullptr;  ///< resumer's parked stack pointer
+#if HMPS_FIBER_ASAN
+  void* asan_fake_ = nullptr;
+  const void* asan_caller_bottom_ = nullptr;
+  std::size_t asan_caller_size_ = 0;
+#endif
+#endif
   State state_ = State::kReady;
   bool started_ = false;
 };

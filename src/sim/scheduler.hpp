@@ -40,10 +40,19 @@ class Scheduler {
 
   Cycle now() const { return now_; }
 
-  /// Schedules an arbitrary callback at absolute time t (>= now).
-  void at(Cycle t, std::function<void()> cb) {
-    queue_.schedule(t < now_ ? now_ : t, std::move(cb));
+  /// Schedules an arbitrary callback at absolute time t (>= now). Small
+  /// callables (<= EventFn::kInlineBytes of captures) are stored inline in
+  /// the event record — no heap allocation.
+  template <class F>
+  void at(Cycle t, F&& cb) {
+    queue_.schedule(t < now_ ? now_ : t, std::forward<F>(cb));
   }
+
+  /// Engine self-counters (events scheduled/executed, allocation escapes).
+  const EngineCounters& engine_counters() const { return queue_.counters(); }
+
+  /// Pre-sizes the event pool (see EventQueue::reserve).
+  void reserve_events(std::size_t n) { queue_.reserve(n); }
 
   // ---- Fiber-side API (must be called from inside a running fiber) ----
 

@@ -10,6 +10,18 @@
 
 namespace hmps::sim {
 
+/// Self-counters of the discrete-event engine (see docs/ENGINE.md). The
+/// event queue updates these on every schedule/pop; they are cheap enough to
+/// keep on unconditionally and let tests assert the zero-allocation contract
+/// instead of taking it on faith.
+struct EngineCounters {
+  std::uint64_t scheduled = 0;     ///< events ever pushed
+  std::uint64_t executed = 0;      ///< events ever popped
+  std::uint64_t spill_allocs = 0;  ///< callbacks too big for inline storage
+  std::uint64_t heap_grows = 0;    ///< reallocations of the heap array
+  std::uint64_t peak_depth = 0;    ///< max simultaneous pending events
+};
+
 /// Streaming min/max/mean/variance accumulator (Welford's algorithm).
 class Summary {
  public:

@@ -1,0 +1,373 @@
+// Golden-trace determinism regression tests for the engine hot-path
+// overhaul, plus the zero-allocation contract.
+//
+// The golden constants below were captured by running these exact scenarios
+// against the SEED engine (std::function + std::priority_queue events,
+// deque-based UDN queues, per-hop NoC walking, ucontext fibers) before the
+// overhaul. The overhauled engine must reproduce every fingerprint and
+// counter bit for bit: the (time, seq) event order, UDN counters, and NoC
+// link_wait are the determinism contract (docs/ENGINE.md).
+//
+// Note the contract deliberately does NOT cover coherence-model timings:
+// simulated addresses are host pointer addresses, so ASLR makes those
+// figures vary run to run even on the seed engine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "arch/params.hpp"
+#include "arch/topology.hpp"
+#include "arch/udn.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation-counting hook: global operator new/delete tally every heap
+// allocation in the binary. Tests read the delta across a steady-state
+// window to prove the engine allocates nothing per event/message.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  ++g_allocs;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace hmps {
+namespace {
+
+using sim::Cycle;
+using sim::Tid;
+
+struct Fp {
+  std::uint64_t h = 14695981039346656037ull;
+  void mix(std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  }
+};
+
+struct ModelGold {
+  std::uint64_t fp;
+  Cycle end;
+  std::uint64_t msgs, words, blocks, peak;
+  std::uint64_t noc_msgs, noc_hops;
+  Cycle link_wait;
+};
+
+void expect_gold(const ModelGold& got, const ModelGold& want) {
+  EXPECT_EQ(got.fp, want.fp);
+  EXPECT_EQ(got.end, want.end);
+  EXPECT_EQ(got.msgs, want.msgs);
+  EXPECT_EQ(got.words, want.words);
+  EXPECT_EQ(got.blocks, want.blocks);
+  EXPECT_EQ(got.peak, want.peak);
+  EXPECT_EQ(got.noc_msgs, want.noc_msgs);
+  EXPECT_EQ(got.noc_hops, want.noc_hops);
+  EXPECT_EQ(got.link_wait, want.link_wait);
+}
+
+ModelGold gold_of(Fp fp, Cycle end, arch::UdnModel& udn) {
+  const auto& u = udn.counters();
+  const auto& n = udn.noc().counters();
+  return ModelGold{fp.h,       end,    u.messages, u.words, u.sender_blocks,
+                  u.peak_occupancy, n.messages, n.hops,  n.link_wait};
+}
+
+// Scenario: pure scheduler interleaving — fibers with pseudo-random waits
+// plus bare callbacks racing at the same cycles. Exercises the (time, seq)
+// total order.
+TEST(GoldenTrace, SchedulerInterleave) {
+  sim::Scheduler s;
+  Fp fp;
+  for (std::uint32_t j = 0; j < 6; ++j) {
+    s.spawn([&s, &fp, j] {
+      sim::Xoshiro256 rng(1000 + j);
+      for (int i = 0; i < 400; ++i) {
+        fp.mix(j);
+        fp.mix(s.now());
+        if (i % 7 == j % 7) {
+          s.at(s.now() + rng.below(5), [&fp, j] { fp.mix(100 + j); });
+        }
+        s.wait_for(rng.below(7));
+      }
+    });
+  }
+  const Cycle end = s.run();
+  EXPECT_EQ(fp.h, 4661895399910340196ull);
+  EXPECT_EQ(end, 1232ull);
+}
+
+// Scenario: UDN ring traffic — every core sends to its right neighbour and
+// receives from its left, with rng-derived sizes and think times.
+ModelGold run_udn_ring(bool link_contention) {
+  arch::MachineParams p = arch::MachineParams::tilegx_small(4, 2);
+  p.model_link_contention = link_contention;
+  arch::MeshTopology topo(p);
+  sim::Scheduler s;
+  arch::UdnModel udn(p, topo, s);
+  const std::uint32_t C = topo.cores();
+  Fp fp;
+  for (Tid i = 0; i < C; ++i) {
+    s.spawn([&, i] {
+      const Tid dst = (i + 1) % C;
+      const Tid prev = (i + C - 1) % C;
+      sim::Xoshiro256 think(500 + i);
+      sim::Xoshiro256 out_sizes(900 + i);
+      sim::Xoshiro256 in_sizes(900 + prev);
+      std::uint64_t w[16];
+      for (int m = 0; m < 150; ++m) {
+        const std::size_t n = 1 + out_sizes.below(8);
+        for (std::size_t k = 0; k < n; ++k) w[k] = i * 100000ull + m * 16 + k;
+        udn.send(i, dst, i % udn.n_queues(), w, n);
+        const std::size_t rn = 1 + in_sizes.below(8);
+        std::uint64_t in[16];
+        udn.receive(i, prev % udn.n_queues(), in, rn);
+        fp.mix(in[0]);
+        fp.mix(in[rn - 1]);
+        fp.mix(s.now());
+        s.wait_for(think.below(25));
+      }
+    });
+  }
+  const Cycle end = s.run();
+  return gold_of(fp, end, udn);
+}
+
+TEST(GoldenTrace, UdnRing) {
+  expect_gold(run_udn_ring(false),
+              ModelGold{12640239833102257098ull, 5399, 1200, 5334, 0, 16, 0, 0,
+                        0});
+}
+
+TEST(GoldenTrace, UdnRingLinkContention) {
+  expect_gold(run_udn_ring(true),
+              ModelGold{12640239833102257098ull, 5399, 1200, 5334, 0, 16, 1200,
+                        2100, 3});
+}
+
+// Scenario: many-to-one flood on one queue, slow receiver — exercises credit
+// backpressure (sender_blocks > 0) and ingress-port serialization.
+ModelGold run_udn_flood(bool link_contention) {
+  arch::MachineParams p = arch::MachineParams::tilegx_small(4, 2);
+  p.model_link_contention = link_contention;
+  arch::MeshTopology topo(p);
+  sim::Scheduler s;
+  arch::UdnModel udn(p, topo, s);
+  const std::uint32_t C = topo.cores();
+  const std::uint64_t kMsgs = 400;
+  Fp fp;
+  for (Tid i = 1; i < C; ++i) {
+    s.spawn([&, i] {
+      std::uint64_t w[3];
+      for (std::uint64_t m = 0; m < kMsgs; ++m) {
+        w[0] = i;
+        w[1] = m;
+        w[2] = i * 7777 + m;
+        udn.send(i, 0, 0, w, 3);
+      }
+    });
+  }
+  s.spawn([&] {
+    sim::Xoshiro256 think(42);
+    std::uint64_t w[3];
+    for (std::uint64_t m = 0; m < (C - 1) * kMsgs; ++m) {
+      udn.receive(0, 0, w, 3);
+      fp.mix(w[0]);
+      fp.mix(w[2]);
+      s.wait_for(think.below(9));
+    }
+  });
+  const Cycle end = s.run();
+  return gold_of(fp, end, udn);
+}
+
+TEST(GoldenTrace, UdnFloodBackpressure) {
+  expect_gold(run_udn_flood(false),
+              ModelGold{7686226863619266309ull, 19550, 2800, 8400, 2759, 117,
+                        0, 0, 0});
+}
+
+TEST(GoldenTrace, UdnFloodLinkContention) {
+  expect_gold(run_udn_flood(true),
+              ModelGold{7686226863619266309ull, 19550, 2800, 8400, 2759, 117,
+                        2800, 6400, 820});
+}
+
+// Scenario: full 36-core mesh with link contention, all-to-one tree — wide
+// NoC coverage including multi-hop XY routes in both directions.
+TEST(GoldenTrace, NocAllPairs) {
+  arch::MachineParams p;  // tilegx36
+  p.model_link_contention = true;
+  arch::MeshTopology topo(p);
+  sim::Scheduler s;
+  arch::UdnModel udn(p, topo, s);
+  const std::uint32_t C = topo.cores();
+  Fp fp;
+  for (Tid i = 1; i < C; ++i) {
+    s.spawn([&, i] {
+      sim::Xoshiro256 rng(3000 + i);
+      std::uint64_t w[4] = {i, 0, 0, 0};
+      for (int m = 0; m < 40; ++m) {
+        w[1] = m;
+        udn.send(i, 0, i % udn.n_queues(), w, 1 + (i + m) % 4);
+        s.wait_for(rng.below(60));
+      }
+    });
+  }
+  // One receiver fiber per queue so a queue awaiting words never wedges the
+  // drain of the others (credits are shared across the whole buffer).
+  for (std::uint32_t q = 0; q < 4; ++q) {
+    s.spawn([&, q] {
+      std::uint64_t expect = 0;
+      for (Tid i = 1; i < C; ++i)
+        if (i % 4 == q)
+          for (int m = 0; m < 40; ++m) expect += 1 + (i + m) % 4;
+      std::uint64_t in[4];
+      while (expect > 0) {
+        const std::size_t n = expect < 4 ? expect : 4;
+        udn.receive(0, q, in, n);
+        expect -= n;
+        fp.mix(in[0] + q);
+      }
+    });
+  }
+  const Cycle end = s.run();
+  expect_gold(gold_of(fp, end, udn),
+              ModelGold{12387181692252717492ull, 3533, 1400, 3500, 1117, 118,
+                        1400, 7200, 16438});
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation contract.
+// ---------------------------------------------------------------------------
+
+// Raw event queue: once warmed up, schedule/pop cycles of hot-path-sized
+// callbacks (inline in the event record) must not touch the heap at all.
+TEST(ZeroAlloc, EventQueueSteadyState) {
+  sim::EventQueue q;
+  std::uint64_t fired = 0;
+  // Warmup: grow the slot pool to its high-water mark AND run the schedule
+  // pattern through a full timing-wheel revolution so every bucket reaches
+  // its per-round capacity.
+  Cycle t = 0;
+  for (int round = 0; round < 300; ++round) {
+    for (int i = 0; i < 256; ++i) {
+      q.schedule(t + 1 + i % 7, [&fired, i] { fired += i; });
+    }
+    while (!q.empty()) q.pop(&t)();
+  }
+
+  const std::uint64_t allocs_before = g_allocs.load();
+  const auto spills_before = q.counters().spill_allocs;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 256; ++i) {
+      q.schedule(t + 1 + i % 7, [&fired, i] { fired += i; });
+    }
+    while (!q.empty()) q.pop(&t)();
+  }
+  EXPECT_EQ(g_allocs.load() - allocs_before, 0u);
+  EXPECT_EQ(q.counters().spill_allocs - spills_before, 0u);
+  EXPECT_GT(fired, 0u);
+}
+
+// Whole engine: a UDN ping-pong in steady state — fiber switches, event
+// scheduling, message staging, blocking receives, waiter wakeups — must be
+// allocation-free per round trip.
+TEST(ZeroAlloc, UdnPingPongSteadyState) {
+  arch::MachineParams p = arch::MachineParams::tilegx_small(4, 2);
+  arch::MeshTopology topo(p);
+  sim::Scheduler s;
+  arch::UdnModel udn(p, topo, s);
+  std::uint64_t rounds = 0;
+  std::uint64_t allocs_at_steady = 0;
+  s.spawn([&] {
+    std::uint64_t w[3] = {1, 2, 3};
+    for (;;) {
+      udn.send(0, 5, 0, w, 3);
+      udn.receive(0, 1, w, 3);
+      if (++rounds == 1000) allocs_at_steady = g_allocs.load();
+      if (rounds == 11000) {
+        s.stop();
+        return;
+      }
+    }
+  });
+  s.spawn([&] {
+    std::uint64_t w[3];
+    for (;;) {
+      udn.receive(5, 0, w, 3);
+      udn.send(5, 0, 1, w, 3);
+    }
+  });
+  s.run();
+  EXPECT_EQ(rounds, 11000u);
+  EXPECT_EQ(g_allocs.load() - allocs_at_steady, 0u);
+  EXPECT_EQ(s.engine_counters().spill_allocs, 0u);
+}
+
+// Fuzz the (time, seq) total order across the timing wheel's near/far split:
+// random deltas up to 5000 cycles land events in both the wheel (< 1024) and
+// the overflow heap (>= 1024), including equal times in both structures.
+// Whatever the internal placement, the fired sequence must be exactly the
+// events sorted by (time, schedule order).
+TEST(EventQueueOrder, WheelOverflowFuzz) {
+  sim::EventQueue q;
+  sim::Xoshiro256 rng(77);
+  struct Rec {
+    Cycle time;
+    std::uint64_t seq;
+  };
+  std::vector<Rec> fired;
+  std::uint64_t seq = 0;
+  Cycle now = 0;
+  const auto schedule_one = [&] {
+    const Cycle t = now + rng.below(5000);
+    const std::uint64_t s = seq++;
+    q.schedule(t, [&fired, t, s] { fired.push_back(Rec{t, s}); });
+  };
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t n = 1 + rng.below(3);
+    for (std::uint64_t k = 0; k < n; ++k) schedule_one();
+    for (std::uint64_t k = rng.below(4); k > 0 && !q.empty(); --k) {
+      q.pop(&now)();
+    }
+  }
+  while (!q.empty()) q.pop(&now)();
+
+  ASSERT_EQ(fired.size(), seq);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    const bool ordered = fired[i - 1].time < fired[i].time ||
+                         (fired[i - 1].time == fired[i].time &&
+                          fired[i - 1].seq < fired[i].seq);
+    ASSERT_TRUE(ordered) << "misordered at index " << i;
+  }
+}
+
+// The self-counters must account for every event exactly once.
+TEST(EngineCounters, ScheduledMatchesExecuted) {
+  sim::Scheduler s;
+  int ticks = 0;
+  s.spawn([&] {
+    for (; ticks < 100; ++ticks) s.wait_for(3);
+  });
+  s.run();
+  const auto& c = s.engine_counters();
+  EXPECT_EQ(c.scheduled, c.executed);
+  EXPECT_GE(c.scheduled, 100u);
+  EXPECT_GE(c.peak_depth, 1u);
+}
+
+}  // namespace
+}  // namespace hmps
