@@ -10,12 +10,19 @@
 //     4-way demux queues, Section 6), senders block on backpressure but the
 //     system keeps making progress because every send is followed by a
 //     blocking receive.
+//   * The fault-injection scenarios (second table) run MP-SERVER and
+//     HYBCOMB under deterministic buffer pressure + combiner preemption
+//     (sim/fault.hpp) with and without the Section 6 overflow guards
+//     (credit-based in-flight throttling, combiner-stall detection); see
+//     docs/ROBUSTNESS.md.
 #include <cstdio>
 
 #include "arch/params.hpp"
 #include "ds/counter.hpp"
 #include "harness/report.hpp"
+#include "harness/workload.hpp"
 #include "runtime/sim_executor.hpp"
+#include "sim/fault.hpp"
 #include "sync/mp_server.hpp"
 
 using namespace hmps;
@@ -30,12 +37,12 @@ struct Outcome {
 };
 
 Outcome run(std::uint32_t app_threads, std::uint32_t buf_words,
-            sim::Cycle horizon) {
+            sim::Cycle horizon, std::uint64_t max_inflight = 0) {
   arch::MachineParams p = arch::MachineParams::tilegx36();
   p.udn_buf_words = buf_words;
   rt::SimExecutor ex(p, 7);
   ds::SeqCounter c;
-  sync::MpServer<SimCtx> mp(0, &c);
+  sync::MpServer<SimCtx> mp(0, &c, max_inflight);
   ex.add_thread([&](SimCtx& ctx) { mp.serve(ctx); });
   for (std::uint32_t i = 0; i < app_threads; ++i) {
     ex.add_thread([&](SimCtx& ctx) {
@@ -53,33 +60,105 @@ Outcome run(std::uint32_t app_threads, std::uint32_t buf_words,
   return o;
 }
 
+// Deterministic pressure + preemption plan shared by the fault scenarios.
+sim::FaultPlan fault_plan(std::uint64_t seed) {
+  sim::FaultPlan fp;
+  fp.seed = seed;
+  fp.credit_period = 20'000;    // UDN pressure: credits shrink to 25%
+  fp.credit_duration = 5'000;
+  fp.credit_pct = 25;
+  fp.preempt_period = 15'000;   // cores (combiners included) lose the CPU
+  fp.preempt_duration = 2'000;
+  return fp;
+}
+
+void fault_scenarios(harness::Table& table, const harness::BenchArgs& args) {
+  harness::RunCfg cfg;
+  cfg.app_threads = args.threads ? args.threads : 16;
+  cfg.window = args.window ? args.window : 150'000;
+  cfg.reps = args.reps ? args.reps : 2;
+  cfg.seed = args.seed;
+  cfg.faults = fault_plan(args.seed);
+
+  struct Scenario {
+    harness::Approach a;
+    std::uint64_t max_inflight;
+    sim::Cycle stall_timeout;
+  };
+  const Scenario scenarios[] = {
+      {harness::Approach::kMpServer, 0, 0},
+      {harness::Approach::kMpServer, 8, 0},
+      {harness::Approach::kHybComb, 0, 0},
+      // stall_timeout below preempt_duration (2'000), so a would-be
+      // combiner spinning through its predecessor's preemption window
+      // records the detection.
+      {harness::Approach::kHybComb, 8, 1'500},
+  };
+  for (const Scenario& sc : scenarios) {
+    harness::RunCfg c = cfg;
+    c.max_inflight = sc.max_inflight;
+    c.stall_timeout = sc.stall_timeout;
+    const harness::RunResult r = harness::run_counter(c, sc.a);
+    table.add_row({harness::approach_name(sc.a),
+                   std::to_string(sc.max_inflight),
+                   std::to_string(sc.stall_timeout), harness::fmt(r.mops),
+                   std::to_string(r.total_ops),
+                   std::to_string(r.throttle_waits),
+                   std::to_string(r.stall_timeouts),
+                   std::to_string(r.preemptions),
+                   r.total_ops > 0 ? "live" : "STALLED"});
+    std::fprintf(stderr, "[sec6] faults %s inflight=%llu done\n",
+                 harness::approach_name(sc.a),
+                 static_cast<unsigned long long>(sc.max_inflight));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto args = harness::BenchArgs::parse(argc, argv);
   const sim::Cycle horizon = args.window ? args.window : 300'000;
 
-  harness::Table table({"app_threads", "buffer(words)", "peak occupancy",
-                        "sender blocks", "ops served", "verdict"});
+  harness::Table table({"app_threads", "buffer(words)", "max_inflight",
+                        "peak occupancy", "sender blocks", "ops served",
+                        "verdict"});
   struct Case {
     std::uint32_t threads, buf;
+    std::uint64_t inflight;
   };
-  // 35 clients fit (105 <= 118); oversubscribed cases force backpressure.
-  const Case cases[] = {{35, 118}, {35, 24}, {70, 118}, {105, 118}};
+  // 35 clients fit (105 <= 118). The oversubscribed cases push more
+  // request words than the buffer holds (63 * 3 = 189 > 118) and place two
+  // threads on some cores (63 clients + server on 36 cores), exercising the
+  // 4-way demux sharing — while staying within the constructions' fixed
+  // 64-thread capacity, which is now a hard runtime check. The {63, 48}
+  // pair is the Section 6 hazard made real: unthrottled it wedges (clients
+  // sharing the server's buffer fill it so the response send blocks);
+  // credit-based throttling (max_inflight) makes the same machine live.
+  const Case cases[] = {
+      {35, 118, 0}, {35, 24, 0}, {63, 118, 0}, {63, 48, 0}, {63, 48, 8}};
   for (const auto& cs : cases) {
-    const Outcome o = run(cs.threads, cs.buf, horizon);
+    const Outcome o = run(cs.threads, cs.buf, horizon, cs.inflight);
     const bool fits = o.peak <= cs.buf;
     const bool progressed = o.ops > 1000;
     table.add_row({std::to_string(cs.threads), std::to_string(cs.buf),
-                   std::to_string(o.peak), std::to_string(o.blocks),
-                   std::to_string(o.ops),
+                   std::to_string(cs.inflight), std::to_string(o.peak),
+                   std::to_string(o.blocks), std::to_string(o.ops),
                    progressed ? (fits ? "no overflow, live"
                                       : "backpressure, live")
                               : "STALLED"});
-    std::fprintf(stderr, "[sec6] threads=%u buf=%u done\n", cs.threads,
-                 cs.buf);
+    std::fprintf(stderr, "[sec6] threads=%u buf=%u inflight=%llu done\n",
+                 cs.threads, cs.buf,
+                 static_cast<unsigned long long>(cs.inflight));
   }
   table.print("Section 6: message-queue occupancy and deadlock freedom");
   if (!args.csv.empty()) table.write_csv(args.csv);
+
+  harness::Table ftable({"approach", "max_inflight", "stall_timeout", "mops",
+                         "total_ops", "throttle_waits", "stall_timeouts",
+                         "preemptions", "verdict"});
+  fault_scenarios(ftable, args);
+  ftable.print(
+      "Section 6: buffer pressure + combiner preemption (fault injection)");
+  if (!args.csv.empty()) ftable.write_csv(args.csv + ".faults.csv");
   return 0;
 }

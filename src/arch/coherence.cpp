@@ -28,7 +28,7 @@ AccessCost CoherenceModel::read(Tid c, std::uint64_t addr, Cycle now) {
   ++counters_.rmr_reads;
   const Cycle wait = acquire_line(l, now);
   const std::uint64_t ln = line_of(addr);
-  const Tid home = topo_.home_tile(ln);
+  const Tid home = l.home;
   Cycle lat = topo_.wire(c, home) + p_.dir_lookup;
   if (l.state == State::kModified) {
     // Dirty elsewhere: forward to owner, owner supplies data and downgrades.
@@ -57,7 +57,7 @@ AccessCost CoherenceModel::write(Tid c, std::uint64_t addr, Cycle now) {
   ++counters_.rmr_writes;
   const Cycle wait = acquire_line(l, now);
   const std::uint64_t ln = line_of(addr);
-  const Tid home = topo_.home_tile(ln);
+  const Tid home = l.home;
   Cycle lat = topo_.wire(c, home) + p_.dir_lookup;
   if (l.state == State::kModified) {
     // Recall from the current owner.
@@ -89,8 +89,7 @@ AccessCost CoherenceModel::atomic(Tid c, std::uint64_t addr, Cycle now,
   // authoritative copy lives at home again.
   Line& l = line_at(addr);
   const Cycle wait = acquire_line(l, now);
-  const std::uint64_t ln = line_of(addr);
-  const std::uint32_t ctrl = topo_.home_ctrl(ln);
+  const std::uint32_t ctrl = l.ctrl;
 
   Cycle recall = 0;
   if (l.state == State::kModified) {

@@ -96,9 +96,11 @@ class CoherenceModel {
   void attach_profiler(CoherenceProfiler* p) { prof_ = p; }
   CoherenceProfiler* profiler() { return prof_; }
 
-  /// Drops all line state (fresh caches). Mostly for tests.
+  /// Drops all line state (fresh caches). Mostly for tests. First-touch
+  /// home assignment restarts too, so a reset model replays identically.
   void reset_lines() {
     lines_.clear();
+    next_line_id_ = 0;
     for (auto& c : ctrl_busy_until_) c = 0;
   }
 
@@ -110,9 +112,27 @@ class CoherenceModel {
     Tid owner = sim::kNoTid;      ///< valid when kModified
     std::uint64_t sharers = 0;    ///< bitmask over cores (<= 64 cores)
     Cycle busy_until = 0;         ///< line-occupancy serialization point
+    Tid home = 0;                 ///< home tile, fixed at first touch
+    std::uint32_t ctrl = 0;       ///< memory controller, fixed at first touch
   };
 
-  Line& line_at(std::uint64_t addr) { return lines_[line_of(addr)]; }
+  /// Looks up (or creates) the line covering `addr`. Home tile and memory
+  /// controller are hashed from a *dense first-touch id*, not from the raw
+  /// line address: simulated addresses are host pointer addresses, so
+  /// hashing them directly would let ASLR move lines between homes and make
+  /// simulated timings vary run to run. First-touch order is fixed by the
+  /// (deterministic) simulation itself, so this keeps the TILE-Gx
+  /// hash-for-home spread while making coherence timing reproducible across
+  /// processes.
+  Line& line_at(std::uint64_t addr) {
+    auto [it, inserted] = lines_.try_emplace(line_of(addr));
+    if (inserted) {
+      it->second.home = topo_.home_tile(next_line_id_);
+      it->second.ctrl = topo_.home_ctrl(next_line_id_);
+      ++next_line_id_;
+    }
+    return it->second;
+  }
 
   /// Serializes on the line and returns the queueing delay.
   Cycle acquire_line(Line& l, Cycle now) {
@@ -127,6 +147,7 @@ class CoherenceModel {
   const MeshTopology& topo_;
   CoherenceProfiler* prof_ = nullptr;
   std::unordered_map<std::uint64_t, Line> lines_;
+  std::uint64_t next_line_id_ = 0;
   Cycle ctrl_busy_until_[8] = {};
   Counters counters_;
 };

@@ -42,6 +42,12 @@ struct CoreState {
   sim::Cycle wb_stall = 0;       ///< stalls waiting on the write buffer
   sim::Cycle atomic_stall = 0;   ///< stalls in atomic round trips
 
+  // Fault injection (sim/fault.hpp): cycles this core sat in injected
+  // preemption windows, and how many windows it hit. Zero unless a
+  // FaultPlan with preemption is installed.
+  sim::Cycle preempt_stall = 0;
+  std::uint64_t preemptions = 0;
+
   void reset_window() { *this = CoreState{}; }
 };
 

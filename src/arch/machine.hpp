@@ -10,6 +10,7 @@
 #include "arch/params.hpp"
 #include "arch/topology.hpp"
 #include "arch/udn.hpp"
+#include "sim/fault.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/trace.hpp"
 
@@ -19,6 +20,7 @@ class Machine {
  public:
   explicit Machine(MachineParams params)
       : params_(std::move(params)),
+        faults_(sched_),
         topo_(params_),
         coh_(params_, topo_),
         udn_(params_, topo_, sched_),
@@ -33,6 +35,16 @@ class Machine {
   UdnModel& udn() { return udn_; }
   sim::Scheduler& sched() { return sched_; }
   sim::Tracer& tracer() { return tracer_; }
+  sim::FaultInjector& faults() { return faults_; }
+  const sim::FaultInjector& faults() const { return faults_; }
+
+  /// Installs a fault plan and hooks the injector into the UDN/NoC models.
+  /// Call before the simulation starts; a plan with nothing enabled leaves
+  /// every model path byte-identical to a plain run.
+  void install_faults(const sim::FaultPlan& plan) {
+    udn_.attach_faults(&faults_);
+    faults_.install(plan, cores());
+  }
 
   CoreState& core(sim::Tid c) { return cores_[c]; }
   const CoreState& core(sim::Tid c) const { return cores_[c]; }
@@ -51,6 +63,7 @@ class Machine {
   MachineParams params_;
   sim::Tracer tracer_;
   sim::Scheduler sched_;
+  sim::FaultInjector faults_;
   MeshTopology topo_;
   CoherenceModel coh_;
   UdnModel udn_;

@@ -46,6 +46,7 @@ Cycle NocModel::route(Tid src, Tid dst, Cycle inject_time,
   const std::size_t pair = static_cast<std::size_t>(src) * topo_.cores() + dst;
   const std::uint32_t* link = route_links_.data() + route_offs_[pair];
   const std::uint32_t* end = route_links_.data() + route_offs_[pair + 1];
+  const bool jitter = faults_ && faults_->active();
   for (; link != end; ++link) {
     Cycle& b = busy_[*link];
     const Cycle start = b > t ? b : t;
@@ -53,6 +54,7 @@ Cycle NocModel::route(Tid src, Tid dst, Cycle inject_time,
     // The link carries the message's flits back to back.
     b = start + hold;
     t = start + p_.hop;
+    if (jitter) t += faults_->hop_jitter();
     ++counters_.hops;
   }
   return t;

@@ -13,6 +13,7 @@
 
 #include "arch/params.hpp"
 #include "arch/topology.hpp"
+#include "sim/fault.hpp"
 #include "sim/types.hpp"
 
 namespace hmps::arch {
@@ -32,6 +33,10 @@ class NocModel {
   /// link_wait arithmetic is identical to walking the route coordinate by
   /// coordinate.
   Cycle route(Tid src, Tid dst, Cycle inject_time, std::uint32_t words);
+
+  /// Attaches the machine's fault injector; when active, every hop may take
+  /// extra jitter cycles (sim/fault.hpp). Neutral when null or inactive.
+  void attach_faults(sim::FaultInjector* f) { faults_ = f; }
 
   struct Counters {
     std::uint64_t messages = 0;
@@ -56,6 +61,7 @@ class NocModel {
 
   const MachineParams& p_;
   const MeshTopology& topo_;
+  sim::FaultInjector* faults_ = nullptr;
   std::uint32_t w_, h_;
   std::vector<Cycle> busy_;  ///< per-link reservation horizon
   /// Concatenated per-pair link-index lists; pair (src, dst) occupies

@@ -21,6 +21,15 @@ UdnModel::UdnModel(const MachineParams& p, const MeshTopology& topo,
   }
 }
 
+void UdnModel::attach_faults(sim::FaultInjector* f) {
+  faults_ = f;
+  noc_.attach_faults(f);
+  // A pressure-window transition changes the credit budget with no receive
+  // involved; blocked senders must be re-checked or a window that outlives
+  // all in-flight receives would strand them forever.
+  f->set_credit_changed([this] { release_all_senders(); });
+}
+
 void UdnModel::send(Tid src, Tid dst, std::uint32_t queue,
                     const std::uint64_t* words, std::size_t n) {
   assert(dst < bufs_.size() && queue < nq_);
@@ -29,7 +38,9 @@ void UdnModel::send(Tid src, Tid dst, std::uint32_t queue,
 
   // Credit check: messages are never dropped, so if the destination buffer
   // cannot accommodate the message the sender backs up (paper Section 5.1).
-  while (b.reserved + n > p_.udn_buf_words) {
+  // The window is re-read on every wakeup: fault injection can shrink it
+  // mid-run (and restore it, which also wakes the waiters).
+  while (b.reserved + n > effective_credits()) {
     ++counters_.sender_blocks;
     b.send_waiters.push_back(Waiter{sched_.current(), n});
     sched_.suspend();
@@ -46,11 +57,19 @@ void UdnModel::send(Tid src, Tid dst, std::uint32_t queue,
   const Cycle now = sched_.now();
   const Cycle inject_done =
       now + p_.udn_inject + p_.udn_per_word_wire * static_cast<Cycle>(n);
-  const Cycle arrive_base =
+  Cycle arrive_base =
       p_.model_link_contention
           ? noc_.route(src, dst, inject_done,
                        static_cast<std::uint32_t>(n))
           : inject_done + topo_.wire(src, dst);
+  if (faults_ && faults_->active()) {
+    // Injected latency lands BEFORE ingress-port serialization, so delivery
+    // times per buffer stay non-decreasing in send order and the staging/
+    // commit fast path keeps its ordering invariant. Per-hop jitter is the
+    // NoC model's job when link contention is on.
+    arrive_base += faults_->delivery_delay();
+    if (!p_.model_link_contention) arrive_base += faults_->link_jitter();
+  }
   const Cycle deliver =
       (b.port_busy > arrive_base ? b.port_busy : arrive_base) +
       p_.udn_per_word_wire * static_cast<Cycle>(n);
@@ -100,8 +119,10 @@ void UdnModel::receive(Tid dst, std::uint32_t queue, std::uint64_t* out,
 void UdnModel::try_release_senders(Buffer& b) {
   // FIFO release: wake blocked senders while credits suffice. A woken
   // sender re-checks the credit condition itself (it may race with other
-  // wakeups in the same cycle).
-  std::size_t budget = p_.udn_buf_words - b.reserved;
+  // wakeups in the same cycle). During an injected pressure window the
+  // buffer may hold more than the shrunk limit; the budget clamps at zero.
+  const std::size_t limit = effective_credits();
+  std::size_t budget = limit > b.reserved ? limit - b.reserved : 0;
   while (!b.send_waiters.empty() && b.send_waiters.front().need <= budget) {
     budget -= b.send_waiters.front().need;
     sched_.wake_now(b.send_waiters.front().fiber);

@@ -31,6 +31,7 @@
 #include "arch/noc.hpp"
 #include "arch/params.hpp"
 #include "arch/topology.hpp"
+#include "sim/fault.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/types.hpp"
 
@@ -117,6 +118,19 @@ class UdnModel {
 
   NocModel& noc() { return noc_; }
 
+  /// Attaches the machine's fault injector (and forwards it to the NoC).
+  /// When a plan with UDN pressure is active, sends see a shrunk credit
+  /// window and deliveries may take extra latency; the injector's window
+  /// transitions re-check senders blocked on credits.
+  void attach_faults(sim::FaultInjector* f);
+
+  /// Re-checks credit-blocked senders on every buffer against the current
+  /// effective credit window (fault-injection hook: a closing pressure
+  /// window restores capacity without any receive happening).
+  void release_all_senders() {
+    for (auto& b : bufs_) try_release_senders(b);
+  }
+
   struct Counters {
     std::uint64_t messages = 0;
     std::uint64_t words = 0;
@@ -161,10 +175,19 @@ class UdnModel {
 
   void try_release_senders(Buffer& b);
 
+  /// Credit capacity currently in force (the hardware buffer size, shrunk
+  /// while a fault-injected pressure window is open).
+  std::size_t effective_credits() const {
+    return faults_ && faults_->active()
+               ? faults_->credit_limit(p_.udn_buf_words)
+               : p_.udn_buf_words;
+  }
+
   const MachineParams& p_;
   const MeshTopology& topo_;
   NocModel noc_;
   sim::Scheduler& sched_;
+  sim::FaultInjector* faults_ = nullptr;
   std::size_t nq_;
   std::vector<Buffer> bufs_;
   Counters counters_;

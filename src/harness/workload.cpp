@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -95,6 +97,10 @@ struct DriverHooks {
 
 RunResult drive(const RunCfg& cfg, DriverHooks hooks) {
   SimExecutor ex(cfg.machine, cfg.seed);
+  // Install the fault plan before any thread starts so its first windows
+  // land deterministically; a disabled plan leaves the machine untouched
+  // (and the golden traces byte-identical).
+  if (cfg.faults.enabled()) ex.machine().install_faults(cfg.faults);
   const std::uint32_t ns = static_cast<std::uint32_t>(hooks.servers.size());
   const std::uint32_t na = cfg.app_threads;
 
@@ -183,6 +189,10 @@ RunResult drive(const RunCfg& cfg, DriverHooks hooks) {
     stat_delta.tenures += cur.stats.tenures - prev.stats.tenures;
     stat_delta.cas_attempts += cur.stats.cas_attempts - prev.stats.cas_attempts;
     stat_delta.cas_failures += cur.stats.cas_failures - prev.stats.cas_failures;
+    stat_delta.throttle_waits +=
+        cur.stats.throttle_waits - prev.stats.throttle_waits;
+    stat_delta.stall_timeouts +=
+        cur.stats.stall_timeouts - prev.stats.stall_timeouts;
     msgs += cur.msgs - prev.msgs;
     ctrl_wait += static_cast<double>(cur.ctrl_wait - prev.ctrl_wait);
 
@@ -213,6 +223,11 @@ RunResult drive(const RunCfg& cfg, DriverHooks hooks) {
   r.msgs_per_op = napply > 0 ? static_cast<double>(msgs) / napply : 0;
   r.ctrl_wait_per_op = napply > 0 ? ctrl_wait / napply : 0;
   r.cycles_per_op = r.mops > 0 ? 1200.0 / r.mops : 0;
+  r.throttle_waits = stat_delta.throttle_waits;
+  r.stall_timeouts = stat_delta.stall_timeouts;
+  for (std::uint32_t c = 0; c < ex.machine().cores(); ++c) {
+    r.preemptions += ex.machine().core(c).preemptions;
+  }
   return r;
 }
 
@@ -228,9 +243,12 @@ RunResult run_counter(const RunCfg& cfg, Approach a) {
                                                  : &ds::counter_inc<SimCtx>;
   const std::uint64_t arg = cfg.cs_iters;
 
-  sync::MpServer<SimCtx> mp(0, obj);
+  sync::MpServer<SimCtx> mp(0, obj, cfg.max_inflight);
   sync::ShmServer<SimCtx> shm(0, obj);
-  sync::HybComb<SimCtx> hyb(obj, cfg.max_ops, cfg.fixed_combiner);
+  sync::HybComb<SimCtx>::Options hopts;
+  hopts.stall_timeout = cfg.stall_timeout;
+  hopts.max_inflight = cfg.max_inflight;
+  sync::HybComb<SimCtx> hyb(obj, cfg.max_ops, cfg.fixed_combiner, hopts);
   sync::CcSynch<SimCtx> cc(obj, static_cast<std::uint32_t>(cfg.max_ops),
                            cfg.fixed_combiner);
   sync::LockUc<SimCtx, sync::McsLock<SimCtx>> mcs(obj);
@@ -277,11 +295,7 @@ RunResult run_counter(const RunCfg& cfg, Approach a) {
         case Approach::kTasLock: s = &tas.stats(t); break;
         case Approach::kTtasLock: s = &ttas.stats(t); break;
       }
-      sum.ops += s->ops;
-      sum.served += s->served;
-      sum.tenures += s->tenures;
-      sum.cas_attempts += s->cas_attempts;
-      sum.cas_failures += s->cas_failures;
+      sum.add(*s);
     }
     return sum;
   };
@@ -311,12 +325,15 @@ RunResult run_queue(const RunCfg& cfg, QueueImpl qi) {
   ds::SeqQueue q(16384);
   ds::Lcrq<SimCtx> lcrq(7, 8192);
 
-  sync::MpServer<SimCtx> mp1(0, &q);
-  sync::HybComb<SimCtx> hyb(&q, cfg.max_ops);
+  sync::MpServer<SimCtx> mp1(0, &q, cfg.max_inflight);
+  sync::HybComb<SimCtx>::Options hopts;
+  hopts.stall_timeout = cfg.stall_timeout;
+  hopts.max_inflight = cfg.max_inflight;
+  sync::HybComb<SimCtx> hyb(&q, cfg.max_ops, /*fixed_combiner=*/false, hopts);
   sync::ShmServer<SimCtx> shm(0, &q);
   sync::CcSynch<SimCtx> cc(&q, static_cast<std::uint32_t>(cfg.max_ops));
-  sync::MpServer<SimCtx> mp2e(0, &q);
-  sync::MpServer<SimCtx> mp2d(1, &q);
+  sync::MpServer<SimCtx> mp2e(0, &q, cfg.max_inflight);
+  sync::MpServer<SimCtx> mp2d(1, &q, cfg.max_inflight);
 
   DriverHooks hooks;
   switch (qi) {
@@ -330,8 +347,18 @@ RunResult run_queue(const RunCfg& cfg, QueueImpl qi) {
       hooks.servers.push_back([&](SimCtx& ctx) { mp2e.serve(ctx); });
       hooks.servers.push_back([&](SimCtx& ctx) { mp2d.serve(ctx); });
       break;
+    case QueueImpl::kHyb1:
+    case QueueImpl::kCc1:
+    case QueueImpl::kLcrq:
+      break;  // combiner/lock-free queues run without dedicated servers
     default:
-      break;
+      // A silently-skipped enumerator here used to run the benchmark with
+      // no server thread and hang the clients; die with a diagnosis.
+      std::fprintf(stderr,
+                   "hmps fatal: run_queue: unhandled QueueImpl %d in server "
+                   "dispatch\n",
+                   static_cast<int>(qi));
+      std::abort();
   }
   hooks.op = [&, qi](SimCtx& ctx, std::uint64_t k) {
     const bool enq = (k & 1) == 0;
@@ -365,13 +392,7 @@ RunResult run_queue(const RunCfg& cfg, QueueImpl qi) {
   };
   hooks.sum_stats = [&, qi]() {
     SyncStats sum;
-    auto acc = [&sum](SyncStats& s) {
-      sum.ops += s.ops;
-      sum.served += s.served;
-      sum.tenures += s.tenures;
-      sum.cas_attempts += s.cas_attempts;
-      sum.cas_failures += s.cas_failures;
-    };
+    auto acc = [&sum](const SyncStats& s) { sum.add(s); };
     for (std::uint32_t t = 0; t < 64; ++t) {
       switch (qi) {
         case QueueImpl::kMp1: acc(mp1.stats(t)); break;
@@ -394,8 +415,11 @@ RunResult run_stack(const RunCfg& cfg, StackImpl si) {
   ds::SeqStack st(16384);
   ds::TreiberStack<SimCtx> tr(2048);
 
-  sync::MpServer<SimCtx> mp(0, &st);
-  sync::HybComb<SimCtx> hyb(&st, cfg.max_ops);
+  sync::MpServer<SimCtx> mp(0, &st, cfg.max_inflight);
+  sync::HybComb<SimCtx>::Options hopts;
+  hopts.stall_timeout = cfg.stall_timeout;
+  hopts.max_inflight = cfg.max_inflight;
+  sync::HybComb<SimCtx> hyb(&st, cfg.max_ops, /*fixed_combiner=*/false, hopts);
   sync::ShmServer<SimCtx> shm(0, &st);
   sync::CcSynch<SimCtx> cc(&st, static_cast<std::uint32_t>(cfg.max_ops));
 
@@ -432,13 +456,7 @@ RunResult run_stack(const RunCfg& cfg, StackImpl si) {
   };
   hooks.sum_stats = [&, si]() {
     SyncStats sum;
-    auto acc = [&sum](SyncStats& s) {
-      sum.ops += s.ops;
-      sum.served += s.served;
-      sum.tenures += s.tenures;
-      sum.cas_attempts += s.cas_attempts;
-      sum.cas_failures += s.cas_failures;
-    };
+    auto acc = [&sum](const SyncStats& s) { sum.add(s); };
     for (std::uint32_t t = 0; t < 64; ++t) {
       switch (si) {
         case StackImpl::kMp: acc(mp.stats(t)); break;

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "arch/params.hpp"
+#include "sim/fault.hpp"
 #include "sim/types.hpp"
 
 namespace hmps::harness {
@@ -56,6 +57,11 @@ struct RunCfg {
   sim::Cycle think_iter_cost = 2;     ///< cycles per empty-loop iteration
   std::uint64_t cs_iters = 0;         ///< >0: Fig. 4c array-increment CS
   bool fixed_combiner = false;        ///< Fig. 4a variant (MAX_OPS = inf)
+  sim::FaultPlan faults{};            ///< deterministic fault injection
+                                      ///< (all off by default)
+  std::uint64_t max_inflight = 0;     ///< Section 6 overflow guard for
+                                      ///< MP-SERVER/HYBCOMB (0 = off)
+  sim::Cycle stall_timeout = 0;       ///< HYBCOMB combiner-stall knob
 };
 
 struct RunResult {
@@ -73,6 +79,10 @@ struct RunResult {
   double ctrl_wait_per_op = 0;   ///< memory-controller queueing per op
   double cycles_per_op = 0;   ///< window*threads... == 1200/mops per thread
   std::uint64_t total_ops = 0;
+  // Section 6 robustness counters (nonzero only with the guards/faults on):
+  std::uint64_t throttle_waits = 0;  ///< spins for an in-flight credit
+  std::uint64_t stall_timeouts = 0;  ///< combiner-stall timeouts observed
+  std::uint64_t preemptions = 0;     ///< injected preemption windows hit
 };
 
 /// Concurrent counter under the given approach (Figs. 3a-c, 4a-b; with

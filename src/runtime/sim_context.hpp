@@ -52,6 +52,7 @@ class SimCtx {
   template <class T>
   T load(const std::atomic<T>* p) {
     static_assert(sizeof(T) <= 8);
+    fault_stall();
     const T v = p->load(std::memory_order_relaxed);
     account_load(reinterpret_cast<std::uint64_t>(p));
     return v;
@@ -60,11 +61,13 @@ class SimCtx {
   template <class T>
   void store(std::atomic<T>* p, T v) {
     static_assert(sizeof(T) <= 8);
+    fault_stall();
     p->store(v, std::memory_order_relaxed);
     account_store(reinterpret_cast<std::uint64_t>(p));
   }
 
   std::uint64_t faa(std::atomic<std::uint64_t>* p, std::uint64_t d) {
+    fault_stall();
     const std::uint64_t old = p->fetch_add(d, std::memory_order_relaxed);
     account_atomic(reinterpret_cast<std::uint64_t>(p),
                    arch::AtomicKind::kFaa);
@@ -74,6 +77,7 @@ class SimCtx {
   template <class T>
   T exchange(std::atomic<T>* p, T v) {
     static_assert(sizeof(T) <= 8);
+    fault_stall();
     const T old = p->exchange(v, std::memory_order_relaxed);
     // Exchange is an unconditional RMW: controller cost class of FAA.
     account_atomic(reinterpret_cast<std::uint64_t>(p),
@@ -84,6 +88,7 @@ class SimCtx {
   template <class T>
   bool cas(std::atomic<T>* p, T expect, T desired) {
     static_assert(sizeof(T) <= 8);
+    fault_stall();
     const bool ok = p->compare_exchange_strong(expect, desired,
                                                std::memory_order_relaxed);
     account_atomic(reinterpret_cast<std::uint64_t>(p),
@@ -93,6 +98,7 @@ class SimCtx {
   }
 
   void fence() {
+    fault_stall();
     auto& c = m_.core(core_);
     const Cycle t = now();
     if (c.wb_ready > t) {
@@ -105,6 +111,7 @@ class SimCtx {
 
   void prefetch(const void* p) {
     if (!m_.params().allow_prefetch) return;
+    fault_stall();
     auto& c = m_.core(core_);
     const std::uint64_t addr = reinterpret_cast<std::uint64_t>(p);
     c.prefetch_line = m_.coherence().line_of(addr);
@@ -116,6 +123,7 @@ class SimCtx {
   // ---- message passing ----
 
   void send(Tid dst_thread, const std::uint64_t* words, std::size_t n) {
+    fault_stall();
     auto& c = m_.core(core_);
     ++c.msgs_sent;
     const Cycle t0 = now();
@@ -130,6 +138,7 @@ class SimCtx {
   }
 
   void receive(std::uint64_t* out, std::size_t n) {
+    fault_stall();
     auto& c = m_.core(core_);
     ++c.msgs_received;
     const Cycle t0 = now();
@@ -155,6 +164,7 @@ class SimCtx {
   }
 
   bool queue_empty() {
+    fault_stall();
     auto& c = m_.core(core_);
     c.busy += 1;
     m_.sched().wait_for(1);
@@ -165,6 +175,7 @@ class SimCtx {
 
   void compute(Cycle cycles) {
     if (cycles == 0) return;
+    fault_stall();
     m_.tracer().event(core_, "compute", now(), cycles);
     m_.core(core_).busy += cycles;
     m_.sched().wait_for(cycles);
@@ -197,6 +208,24 @@ class SimCtx {
   }
 
  private:
+  /// Fault-injection hook at every operation boundary: while this core sits
+  /// inside an injected preemption window, the fiber makes no progress (the
+  /// thread is "descheduled"; Section 6's unlucky-scheduling scenario).
+  /// A single predicted-false branch when no plan is active.
+  void fault_stall() {
+    if (!m_.faults().active()) [[likely]] return;
+    const Cycle until = m_.faults().preempt_until(core_);
+    const Cycle t = now();
+    if (until > t) {
+      auto& c = m_.core(core_);
+      c.preempt_stall += until - t;
+      c.stall += until - t;
+      ++c.preemptions;
+      m_.tracer().event(core_, "preempt", t, until - t);
+      m_.sched().wait_until(until);
+    }
+  }
+
   void account_load(std::uint64_t addr) {
     auto& c = m_.core(core_);
     ++c.mem_ops;

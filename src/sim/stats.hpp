@@ -27,6 +27,7 @@ class Summary {
  public:
   void add(double x) {
     ++n_;
+    sum_ += x;
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
     const double delta = x - mean_;
@@ -42,7 +43,9 @@ class Summary {
     return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
   }
   double stddev() const { return std::sqrt(variance()); }
-  double sum() const { return mean_ * static_cast<double>(n_); }
+  /// Exact running sum (not reconstructed from the mean, which loses bits
+  /// once n * mean exceeds the significand).
+  double sum() const { return sum_; }
 
   void merge(const Summary& o) {
     if (o.n_ == 0) return;
@@ -55,12 +58,14 @@ class Summary {
     mean_ = (n1 * mean_ + n2 * o.mean_) / (n1 + n2);
     m2_ += o.m2_ + delta * delta * n1 * n2 / (n1 + n2);
     n_ += o.n_;
+    sum_ += o.sum_;
     min_ = std::min(min_, o.min_);
     max_ = std::max(max_, o.max_);
   }
 
  private:
   std::uint64_t n_ = 0;
+  double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
   double mean_ = 0.0;

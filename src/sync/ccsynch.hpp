@@ -44,6 +44,7 @@ class CcSynch {
 
   std::uint64_t apply(Ctx& ctx, Fn fn, std::uint64_t arg) {
     const Tid tid = ctx.tid();
+    check_tid(tid, kMaxThreads, "CcSynch::apply");
     SyncStats& st = stats_[tid].s;
     Node* next_node = my_[tid].node;
     ctx.store(&next_node->next, std::uint64_t{0});
@@ -89,7 +90,10 @@ class CcSynch {
     return ctx.load(&cur->ret);
   }
 
-  SyncStats& stats(Tid t) { return stats_[t].s; }
+  SyncStats& stats(Tid t) {
+    check_tid(t, kMaxThreads, "CcSynch::stats");
+    return stats_[t].s;
+  }
 
  private:
   struct alignas(rt::kCacheLine) Node {

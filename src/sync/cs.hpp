@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 
 #include "runtime/context.hpp"
 
@@ -39,8 +41,22 @@ struct SyncStats {
   std::uint64_t tenures = 0;         ///< combining rounds (combiners only)
   std::uint64_t cas_attempts = 0;    ///< CAS executions (HybComb Fig. 5.3)
   std::uint64_t cas_failures = 0;
+  // Section 6 robustness paths (docs/ROBUSTNESS.md):
+  std::uint64_t throttle_waits = 0;  ///< waits for an in-flight credit
+  std::uint64_t stall_timeouts = 0;  ///< combiner-stall timeouts observed
 
   void reset() { *this = SyncStats{}; }
+
+  /// Field-wise accumulation (the harness sums per-thread slots).
+  void add(const SyncStats& o) {
+    ops += o.ops;
+    served += o.served;
+    tenures += o.tenures;
+    cas_attempts += o.cas_attempts;
+    cas_failures += o.cas_failures;
+    throttle_waits += o.throttle_waits;
+    stall_timeouts += o.stall_timeouts;
+  }
 
   /// Average requests executed per combining round (Fig. 4b).
   double combining_rate() const {
@@ -48,5 +64,20 @@ struct SyncStats {
                    : 0.0;
   }
 };
+
+/// Hard capacity check for the fixed per-thread pools every construction
+/// keeps (nodes, channels, stats). A run configured with more threads than
+/// kMaxThreads used to index silently past those arrays; now it dies with a
+/// diagnosis instead of corrupting memory.
+inline void check_tid(Tid tid, std::uint32_t capacity, const char* who) {
+  if (tid >= capacity) [[unlikely]] {
+    std::fprintf(stderr,
+                 "hmps fatal: %s: thread id %u exceeds the construction's "
+                 "fixed capacity of %u threads (kMaxThreads)\n",
+                 who, static_cast<unsigned>(tid),
+                 static_cast<unsigned>(capacity));
+    std::abort();
+  }
+}
 
 }  // namespace hmps::sync

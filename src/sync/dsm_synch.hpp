@@ -30,6 +30,7 @@ class DsmSynch {
 
   std::uint64_t apply(Ctx& ctx, Fn fn, std::uint64_t arg) {
     const Tid tid = ctx.tid();
+    check_tid(tid, kMaxThreads, "DsmSynch::apply");
     SyncStats& st = stats_[tid].s;
     PerThread& me = my_[tid];
     Node* node = &pool_[2 * tid + me.toggle];
@@ -85,7 +86,10 @@ class DsmSynch {
     return ctx.load(&node->ret);
   }
 
-  SyncStats& stats(Tid t) { return stats_[t].s; }
+  SyncStats& stats(Tid t) {
+    check_tid(t, kMaxThreads, "DsmSynch::stats");
+    return stats_[t].s;
+  }
 
  private:
   struct alignas(rt::kCacheLine) Node {

@@ -25,10 +25,16 @@ class FlatCombining {
   /// `max_passes`: combining passes per lock tenure.
   FlatCombining(void* obj, std::uint32_t max_threads = kMaxThreads,
                 std::uint32_t max_passes = 4)
-      : obj_(obj), nrecs_(max_threads), passes_(max_passes) {}
+      : obj_(obj), nrecs_(max_threads), passes_(max_passes) {
+    // The publication array is fixed; a larger max_threads would make the
+    // combiner scan past it.
+    check_tid(max_threads ? max_threads - 1 : 0, kMaxThreads,
+              "FlatCombining (max_threads)");
+  }
 
   std::uint64_t apply(Ctx& ctx, Fn fn, std::uint64_t arg) {
     const Tid tid = ctx.tid();
+    check_tid(tid, kMaxThreads, "FlatCombining::apply");
     SyncStats& st = stats_[tid].s;
     Record& my = recs_[tid];
     const std::uint64_t seq = ++my_seq_[tid].v;
@@ -70,7 +76,10 @@ class FlatCombining {
     }
   }
 
-  SyncStats& stats(Tid t) { return stats_[t].s; }
+  SyncStats& stats(Tid t) {
+    check_tid(t, kMaxThreads, "FlatCombining::stats");
+    return stats_[t].s;
+  }
 
  private:
   struct alignas(rt::kCacheLine) Record {

@@ -45,6 +45,7 @@ class HSynch {
 
   std::uint64_t apply(Ctx& ctx, Fn fn, std::uint64_t arg) {
     const Tid tid = ctx.tid();
+    check_tid(tid, kMaxThreads, "HSynch::apply");
     const std::uint32_t cl = tid / csize_;
     SyncStats& st = stats_[tid].s;
     Word* tail = &tails_[cl].w;
@@ -86,7 +87,10 @@ class HSynch {
     return ctx.load(&cur->ret);
   }
 
-  SyncStats& stats(Tid t) { return stats_[t].s; }
+  SyncStats& stats(Tid t) {
+    check_tid(t, kMaxThreads, "HSynch::stats");
+    return stats_[t].s;
+  }
 
  private:
   struct alignas(rt::kCacheLine) Node {

@@ -50,6 +50,21 @@ class HybComb {
     /// registration; not needed for correctness, good for combining
     /// potential.
     bool eager_drain = true;
+    /// Combiner-stall detection (Section 6 robustness): a would-be combiner
+    /// spinning on its predecessor's combining_done for more than this many
+    /// cycles records a stall_timeout and backs off coarsely. Detection
+    /// only — takeover is impossible because the stalled combiner's pending
+    /// requests sit in its private hardware queue. 0 disables.
+    Cycle stall_timeout = 0;
+    /// Section 6 overflow guard: bound the requests in flight *per
+    /// combiner* (credit before send, release after the response), keeping
+    /// a combiner's hardware buffer from overflowing under pressure. The
+    /// credit counter lives in the combiner's node: registrants of a
+    /// not-yet-active successor combiner draw from a different pool, so
+    /// they can never starve the active combiner's registrants into a
+    /// cross-generation deadlock. 0 disables (the paper's unbounded
+    /// behavior).
+    std::uint64_t max_inflight = 0;
   };
 
   /// `max_ops` is MAX_OPS of Algorithm 1. `fixed_combiner` reproduces the
@@ -83,6 +98,7 @@ class HybComb {
 
   std::uint64_t apply(Ctx& ctx, Fn fn, std::uint64_t arg) {
     const Tid tid = ctx.tid();
+    check_tid(tid, kMaxThreads, "HybComb::apply");
     SyncStats& st = stats_[tid].s;
     Node* my_node = my_[tid].node;
     std::uint64_t ops_completed = 0;  // line 7
@@ -95,9 +111,17 @@ class HybComb {
         // Lines 12-14: success; send request, await response.
         const Tid comb =
             static_cast<Tid>(ctx.load(&last_reg->thread_id));
+        if (opts_.max_inflight) acquire_credit(ctx, last_reg, st);
         ctx.send(comb, {tid, rt::to_word(fn), arg});
         ++st.ops;
-        return ctx.receive1();
+        const std::uint64_t ret = ctx.receive1();
+        if (opts_.max_inflight) {
+          // Release on the node we acquired on: +(-1). Acquire/release
+          // always pair on the same node, so the counter never wraps even
+          // when the node is recycled before a late release lands.
+          ctx.faa(&last_reg->inflight, ~std::uint64_t{0});
+        }
+        return ret;
       }
       // Lines 16-21: failure; try to register as the next combiner.
       if (opts_.swap_registration) {
@@ -107,15 +131,13 @@ class HybComb {
         last_reg = rt::from_word<Node>(
             ctx.exchange(&lrc_, rt::to_word(my_node)));
         ctx.store(&my_node->n_ops, std::uint64_t{0});
-        while (!ctx.load(&last_reg->combining_done)) ctx.cpu_relax();
+        spin_combining_done(ctx, last_reg, st);
         break;
       }
       ++st.cas_attempts;
       if (ctx.cas(&lrc_, rt::to_word(last_reg), rt::to_word(my_node))) {
         ctx.store(&my_node->n_ops, std::uint64_t{0});  // line 18
-        while (!ctx.load(&last_reg->combining_done)) {  // lines 19-20
-          ctx.cpu_relax();
-        }
+        spin_combining_done(ctx, last_reg, st);        // lines 19-20
         break;  // line 21
       }
       ++st.cas_failures;
@@ -165,7 +187,10 @@ class HybComb {
     return retval;  // line 43
   }
 
-  SyncStats& stats(Tid t) { return stats_[t].s; }
+  SyncStats& stats(Tid t) {
+    check_tid(t, kMaxThreads, "HybComb::stats");
+    return stats_[t].s;
+  }
 
  private:
   // Line 2: Node{thread_id, n_ops, combining_done}. One cache line each;
@@ -174,6 +199,7 @@ class HybComb {
     Word thread_id{0};
     Word n_ops{0};
     Word combining_done{0};
+    Word inflight{0};  ///< Section 6 per-combiner credits (max_inflight)
   };
   static_assert(sizeof(Node) == rt::kCacheLine);
 
@@ -183,6 +209,42 @@ class HybComb {
   struct alignas(rt::kCacheLine) PaddedStats {
     SyncStats s;
   };
+
+  /// Lines 19-20: wait for the predecessor combiner to depart, optionally
+  /// detecting a stalled one (Options::stall_timeout).
+  void spin_combining_done(Ctx& ctx, Node* pred, SyncStats& st) {
+    if (opts_.stall_timeout == 0) {
+      while (!ctx.load(&pred->combining_done)) ctx.cpu_relax();
+      return;
+    }
+    Cycle t0 = ctx.now();
+    while (!ctx.load(&pred->combining_done)) {
+      if (ctx.now() - t0 >= opts_.stall_timeout) {
+        ++st.stall_timeouts;
+        // Coarse backoff: the predecessor is preempted/stalled, so burning
+        // cycles polling its flag only adds contention on the line.
+        ctx.compute(opts_.stall_timeout / 4 + 1);
+        t0 = ctx.now();
+      } else {
+        ctx.cpu_relax();
+      }
+    }
+  }
+
+  /// Spin (through shared memory) until one of `node`'s in-flight credits
+  /// is free. Liveness: the active combiner's registrants release credits
+  /// as they are served, so the combiner is never starved of requests.
+  void acquire_credit(Ctx& ctx, Node* node, SyncStats& st) {
+    for (;;) {
+      const std::uint64_t cur = ctx.load(&node->inflight);
+      if (cur < opts_.max_inflight &&
+          ctx.cas(&node->inflight, cur, cur + 1)) {
+        return;
+      }
+      ++st.throttle_waits;
+      ctx.cpu_relax();
+    }
+  }
 
   void serve_one(Ctx& ctx, SyncStats& st) {
     std::uint64_t m[3];  // {sender_id, fptr, fargs} — lines 26/35

@@ -20,9 +20,17 @@ class MpServer {
  public:
   using Fn = CsFn<Ctx>;
 
+  static constexpr std::uint32_t kMaxThreads = 64;
+
   /// `server_tid`: the thread that will run serve(); `obj`: the concurrent
-  /// object whose CSes this instance executes.
-  MpServer(Tid server_tid, void* obj) : server_(server_tid), obj_(obj) {}
+  /// object whose CSes this instance executes. `max_inflight` > 0 enables
+  /// the Section 6 overflow guard: at most that many requests may be
+  /// outstanding across all clients (credit acquired before the send,
+  /// released after the response), which bounds the words resident in the
+  /// server's hardware buffer to 4 * max_inflight regardless of client
+  /// count or buffer size. 0 leaves the fast path untouched.
+  MpServer(Tid server_tid, void* obj, std::uint64_t max_inflight = 0)
+      : server_(server_tid), obj_(obj), max_inflight_(max_inflight) {}
 
   Tid server_tid() const { return server_; }
   void* object() const { return obj_; }
@@ -30,13 +38,23 @@ class MpServer {
   /// Client side: executes `fn(obj, arg)` in mutual exclusion on the server
   /// and returns its result. Must not be called from the server thread.
   std::uint64_t apply(Ctx& ctx, Fn fn, std::uint64_t arg) {
-    ctx.send(server_, {ctx.tid(), rt::to_word(fn), arg});
-    return ctx.receive1();
+    const Tid tid = ctx.tid();
+    check_tid(tid, kMaxThreads, "MpServer::apply");
+    if (max_inflight_ == 0) {
+      ctx.send(server_, {tid, rt::to_word(fn), arg});
+      return ctx.receive1();
+    }
+    acquire_credit(ctx, stats_[tid].s);
+    ctx.send(server_, {tid, rt::to_word(fn), arg});
+    const std::uint64_t ret = ctx.receive1();
+    ctx.faa(&inflight_, ~std::uint64_t{0});  // release (+(-1))
+    return ret;
   }
 
   /// Server side: serves requests until a stop request arrives (see
   /// request_stop). Runs forever under open-ended simulation windows.
   void serve(Ctx& ctx) {
+    check_tid(ctx.tid(), kMaxThreads, "MpServer::serve");
     SyncStats& st = stats_[ctx.tid()].s;
     for (;;) {
       std::uint64_t m[3];
@@ -54,16 +72,32 @@ class MpServer {
   /// first (FIFO hardware queue).
   void request_stop(Ctx& ctx) { ctx.send(server_, {0, kStopWord, 0}); }
 
-  SyncStats& stats(Tid t) { return stats_[t].s; }
+  SyncStats& stats(Tid t) {
+    check_tid(t, kMaxThreads, "MpServer::stats");
+    return stats_[t].s;
+  }
 
  private:
   struct alignas(rt::kCacheLine) PaddedStats {
     SyncStats s;
   };
 
+  /// Spin (through shared memory, so no message-buffer pressure) until an
+  /// in-flight credit is free, then claim it with CAS.
+  void acquire_credit(Ctx& ctx, SyncStats& st) {
+    for (;;) {
+      const std::uint64_t cur = ctx.load(&inflight_);
+      if (cur < max_inflight_ && ctx.cas(&inflight_, cur, cur + 1)) return;
+      ++st.throttle_waits;
+      ctx.cpu_relax();
+    }
+  }
+
   Tid server_;
   void* obj_;
-  PaddedStats stats_[64];
+  std::uint64_t max_inflight_;
+  alignas(rt::kCacheLine) Word inflight_{0};
+  PaddedStats stats_[kMaxThreads];
 };
 
 }  // namespace hmps::sync

@@ -25,6 +25,8 @@ class MpServerHub {
  public:
   using Fn = CsFn<Ctx>;
 
+  static constexpr std::uint32_t kMaxThreads = 64;
+
   explicit MpServerHub(Tid server_tid) : server_(server_tid) {}
 
   /// Registers a critical-section body bound to an object; returns its
@@ -46,6 +48,7 @@ class MpServerHub {
 
   /// Server side: serves all registered objects until a stop request.
   void serve(Ctx& ctx) {
+    check_tid(ctx.tid(), kMaxThreads, "MpServerHub::serve");
     SyncStats& st = stats_[ctx.tid()].s;
     for (;;) {
       std::uint64_t m[3];
@@ -59,7 +62,10 @@ class MpServerHub {
 
   void request_stop(Ctx& ctx) { ctx.send(server_, {0, kStopWord, 0}); }
 
-  SyncStats& stats(Tid t) { return stats_[t].s; }
+  SyncStats& stats(Tid t) {
+    check_tid(t, kMaxThreads, "MpServerHub::stats");
+    return stats_[t].s;
+  }
 
  private:
   struct Entry {
@@ -72,7 +78,7 @@ class MpServerHub {
 
   Tid server_;
   std::vector<Entry> ops_;
-  PaddedStats stats_[64];
+  PaddedStats stats_[kMaxThreads];
 };
 
 }  // namespace hmps::sync

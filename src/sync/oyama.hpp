@@ -27,6 +27,7 @@ class OyamaComb {
 
   std::uint64_t apply(Ctx& ctx, Fn fn, std::uint64_t arg) {
     const Tid tid = ctx.tid();
+    check_tid(tid, kMaxThreads, "OyamaComb::apply");
     SyncStats& st = stats_[tid].s;
     Node* my = &nodes_[tid];
     bool pushed = false;
@@ -78,7 +79,10 @@ class OyamaComb {
     }
   }
 
-  SyncStats& stats(Tid t) { return stats_[t].s; }
+  SyncStats& stats(Tid t) {
+    check_tid(t, kMaxThreads, "OyamaComb::stats");
+    return stats_[t].s;
+  }
 
  private:
   struct alignas(rt::kCacheLine) Node {

@@ -29,15 +29,22 @@ class ShmServer {
  public:
   using Fn = CsFn<Ctx>;
 
+  static constexpr std::uint32_t kMaxThreads = 64;
+
   /// `max_clients` fixes the channel array size; client thread ids must be
-  /// < max_clients.
-  ShmServer(Tid server_tid, void* obj, std::uint32_t max_clients = 64)
+  /// < max_clients (and <= kMaxThreads: the per-thread seq/stats slots are
+  /// fixed arrays).
+  ShmServer(Tid server_tid, void* obj, std::uint32_t max_clients = kMaxThreads)
       : server_(server_tid), obj_(obj), nchan_(max_clients),
-        chans_(new Channel[max_clients]) {}
+        chans_(new Channel[max_clients]) {
+    check_tid(max_clients ? max_clients - 1 : 0, kMaxThreads,
+              "ShmServer (max_clients)");
+  }
 
   Tid server_tid() const { return server_; }
 
   std::uint64_t apply(Ctx& ctx, Fn fn, std::uint64_t arg) {
+    check_tid(ctx.tid(), nchan_, "ShmServer::apply");
     Channel& ch = chans_[ctx.tid()];
     const std::uint64_t seq = ++my_seq_[ctx.tid()].v;
     ctx.store(&ch.arg, arg);
@@ -49,6 +56,7 @@ class ShmServer {
 
   /// Serves until a stop request is observed.
   void serve(Ctx& ctx) {
+    check_tid(ctx.tid(), kMaxThreads, "ShmServer::serve");
     SyncStats& st = stats_[ctx.tid()].s;
     std::uint32_t i = 0;
     bool found_any = false;
@@ -89,6 +97,7 @@ class ShmServer {
   /// Stops the server through the caller's own channel (blocking until the
   /// server acknowledges).
   void request_stop(Ctx& ctx) {
+    check_tid(ctx.tid(), nchan_, "ShmServer::request_stop");
     Channel& ch = chans_[ctx.tid()];
     const std::uint64_t seq = ++my_seq_[ctx.tid()].v;
     ctx.store(&ch.fn, kStopWord);
@@ -96,7 +105,10 @@ class ShmServer {
     while (ctx.load(&ch.resp_seq) != seq) ctx.cpu_relax();
   }
 
-  SyncStats& stats(Tid t) { return stats_[t].s; }
+  SyncStats& stats(Tid t) {
+    check_tid(t, kMaxThreads, "ShmServer::stats");
+    return stats_[t].s;
+  }
 
  private:
   // One cache line per client, as in RCL.
@@ -120,8 +132,8 @@ class ShmServer {
   void* obj_;
   std::uint32_t nchan_;
   std::unique_ptr<Channel[]> chans_;
-  PaddedSeq my_seq_[64];
-  PaddedStats stats_[64];
+  PaddedSeq my_seq_[kMaxThreads];
+  PaddedStats stats_[kMaxThreads];
 };
 
 }  // namespace hmps::sync

@@ -26,9 +26,12 @@ class LockUc {
  public:
   using Fn = CsFn<Ctx>;
 
+  static constexpr std::uint32_t kMaxThreads = 64;
+
   explicit LockUc(void* obj) : obj_(obj) {}
 
   std::uint64_t apply(Ctx& ctx, Fn fn, std::uint64_t arg) {
+    check_tid(ctx.tid(), kMaxThreads, "LockUc::apply");
     lock_.lock(ctx);
     const std::uint64_t ret = fn(ctx, obj_, arg);
     lock_.unlock(ctx);
@@ -36,7 +39,10 @@ class LockUc {
     return ret;
   }
 
-  SyncStats& stats(Tid t) { return stats_[t].s; }
+  SyncStats& stats(Tid t) {
+    check_tid(t, kMaxThreads, "LockUc::stats");
+    return stats_[t].s;
+  }
 
  private:
   struct alignas(rt::kCacheLine) PaddedStats {
@@ -44,7 +50,7 @@ class LockUc {
   };
   void* obj_;
   Lock lock_;
-  PaddedStats stats_[64];
+  PaddedStats stats_[kMaxThreads];
 };
 
 }  // namespace hmps::sync

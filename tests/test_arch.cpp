@@ -146,20 +146,22 @@ TEST_F(CoherenceTest, AtomicsGoHomeAndInvalidate) {
 
 TEST_F(CoherenceTest, ControllerOccupancyQueuesAtomics) {
   // Many atomics to lines on the same controller issued at the same time
-  // must observe growing controller queueing delay.
-  std::uint64_t addrs[16];
-  int found = 0;
-  for (std::uint64_t line = 0; found < 16 && line < 100000; ++line) {
-    if (topo_.home_ctrl(line) == 0) addrs[found++] = line * 64;
-  }
-  ASSERT_EQ(found, 16);
+  // must observe growing controller queueing delay. Controllers are
+  // assigned by first-touch order (the i-th distinct line touched maps to
+  // home_ctrl(i)), so touch 32 fresh lines in order and measure the ones
+  // landing on controller 0.
+  int measured = 0;
   Cycle first_wait = ~Cycle{0}, last_wait = 0;
-  for (int i = 0; i < 16; ++i) {
+  for (std::uint64_t i = 0; i < 32; ++i) {
     Cycle w = 0;
-    coh_.atomic(i % 35, addrs[i], 1000, AtomicKind::kCasSuccess, &w);
-    if (i == 0) first_wait = w;
-    last_wait = w;
+    coh_.atomic(static_cast<Tid>(i % 35), 0x100000 + i * 64, 1000,
+                AtomicKind::kCasSuccess, &w);
+    if (topo_.home_ctrl(i) == 0) {
+      if (measured++ == 0) first_wait = w;
+      last_wait = w;
+    }
   }
+  ASSERT_GT(measured, 4);
   EXPECT_EQ(first_wait, 0u);
   EXPECT_GT(last_wait, 0u);
   EXPECT_GT(coh_.counters().ctrl_wait_total, 0u);

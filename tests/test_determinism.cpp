@@ -8,9 +8,11 @@
 // counter bit for bit: the (time, seq) event order, UDN counters, and NoC
 // link_wait are the determinism contract (docs/ENGINE.md).
 //
-// Note the contract deliberately does NOT cover coherence-model timings:
-// simulated addresses are host pointer addresses, so ASLR makes those
-// figures vary run to run even on the seed engine.
+// The golden constants predate the coherence model's first-touch home
+// assignment, so they deliberately do not cover coherence-model timings.
+// (Those used to be ASLR-dependent — homes were hashed from host pointer
+// addresses; they are now hashed from dense first-touch line ids and are
+// reproducible across processes.)
 #include <gtest/gtest.h>
 
 #include <atomic>

@@ -224,6 +224,31 @@ TEST(Stats, SummaryMerge) {
   EXPECT_EQ(a.count(), all.count());
   EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
   EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.sum(), all.sum()) << "merged sum must be the exact running sum";
+}
+
+TEST(Stats, SummaryCarriesExactRunningSum) {
+  // sum() used to be reconstructed as mean * n, which loses low-order bits
+  // through Welford's divisions; it must instead equal the plain
+  // left-to-right accumulation of what was added, bit for bit.
+  Summary s;
+  double expect = 0.0;
+  double v = 0.1;
+  for (int i = 0; i < 1000; ++i) {
+    s.add(v);
+    expect += v;
+    v = v * 1.01 + 0.001;  // non-uniform values exercise the divisions
+  }
+  EXPECT_EQ(s.sum(), expect);
+  // Mixed magnitudes: a huge value dwarfing the rest must not erase them
+  // any more than plain accumulation would.
+  Summary m;
+  double expect2 = 0.0;
+  for (double x : {1e15, 1.0, 2.0, 3.0, -1e15}) {
+    m.add(x);
+    expect2 += x;
+  }
+  EXPECT_EQ(m.sum(), expect2);
 }
 
 TEST(Stats, HistogramQuantiles) {
