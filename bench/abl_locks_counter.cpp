@@ -4,8 +4,10 @@
 // O(1)-RMR queue locks (MCS/CLH) pay data-movement RMRs inside the CS that
 // the server/combiner approaches avoid.
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "harness/artifact.hpp"
 #include "harness/report.hpp"
 #include "harness/workload.hpp"
 
@@ -14,6 +16,7 @@ using harness::Approach;
 
 int main(int argc, char** argv) {
   const auto args = harness::BenchArgs::parse(argc, argv);
+  harness::RunArtifacts art(args, "abl_locks_counter", argc, argv);
 
   std::vector<std::uint32_t> threads =
       args.full ? std::vector<std::uint32_t>{1, 2, 5, 10, 15, 20, 25, 30, 35}
@@ -35,6 +38,8 @@ int main(int argc, char** argv) {
     if (args.reps) cfg.reps = args.reps;
     std::vector<std::string> row{std::to_string(t)};
     for (Approach a : order) {
+      cfg.obs = art.next_run(std::string(harness::approach_name(a)) + "/t" +
+                             std::to_string(t));
       row.push_back(harness::fmt(harness::run_counter(cfg, a).mops));
     }
     table.add_row(row);
@@ -43,5 +48,6 @@ int main(int argc, char** argv) {
   table.print("Ablation A3: classic locks vs delegation on the counter "
               "(Mops/s)");
   if (!args.csv.empty()) table.write_csv(args.csv);
+  art.finalize();
   return 0;
 }

@@ -7,8 +7,10 @@
 // ~2.5x above CC-SYNCH at high concurrency; CC-SYNCH and SHM-SERVER
 // closely matched.
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "harness/artifact.hpp"
 #include "harness/report.hpp"
 #include "harness/workload.hpp"
 
@@ -17,6 +19,7 @@ using harness::Approach;
 
 int main(int argc, char** argv) {
   const auto args = harness::BenchArgs::parse(argc, argv);
+  harness::RunArtifacts art(args, "fig3a_counter_throughput", argc, argv);
 
   std::vector<std::uint32_t> threads =
       args.full ? std::vector<std::uint32_t>{1, 2, 4, 6, 8, 10, 12, 14, 16,
@@ -38,6 +41,8 @@ int main(int argc, char** argv) {
     if (args.reps) cfg.reps = args.reps;
     std::vector<std::string> row{std::to_string(t)};
     for (Approach a : order) {
+      cfg.obs = art.next_run(std::string(harness::approach_name(a)) + "/t" +
+                             std::to_string(t));
       const auto r = harness::run_counter(cfg, a);
       row.push_back(harness::fmt(r.mops));
     }
@@ -46,5 +51,6 @@ int main(int argc, char** argv) {
   }
   table.print("Fig. 3a: counter throughput (Mops/s) vs application threads");
   if (!args.csv.empty()) table.write_csv(args.csv);
+  art.finalize();
   return 0;
 }

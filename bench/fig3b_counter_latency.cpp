@@ -7,8 +7,10 @@
 // controllers); a latency dip for the combining algorithms at mid
 // concurrency, where the combining rate jumps (cf. Fig. 4b).
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "harness/artifact.hpp"
 #include "harness/report.hpp"
 #include "harness/workload.hpp"
 
@@ -17,6 +19,7 @@ using harness::Approach;
 
 int main(int argc, char** argv) {
   const auto args = harness::BenchArgs::parse(argc, argv);
+  harness::RunArtifacts art(args, "fig3b_counter_latency", argc, argv);
 
   std::vector<std::uint32_t> threads =
       args.full ? std::vector<std::uint32_t>{1, 2, 4, 6, 8, 10, 12, 14, 16,
@@ -41,6 +44,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{std::to_string(t)};
     std::vector<std::string> trow{std::to_string(t)};
     for (Approach a : order) {
+      cfg.obs = art.next_run(std::string(harness::approach_name(a)) + "/t" +
+                             std::to_string(t));
       const auto r = harness::run_counter(cfg, a);
       row.push_back(harness::fmt(r.lat_mean, 0));
       trow.push_back(harness::fmt(r.lat_p50, 0) + "/" +
@@ -55,5 +60,6 @@ int main(int argc, char** argv) {
     tails.print("Fig. 3b extension: latency percentiles (p50/p99 cycles)");
   }
   if (!args.csv.empty()) table.write_csv(args.csv);
+  art.finalize();
   return 0;
 }

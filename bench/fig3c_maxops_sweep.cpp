@@ -6,8 +6,10 @@
 // fast that combiner switching stays visible), approaching MP-SERVER's
 // throughput. MP-SERVER/SHM-SERVER are flat references (no combining).
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "harness/artifact.hpp"
 #include "harness/report.hpp"
 #include "harness/workload.hpp"
 
@@ -16,6 +18,7 @@ using harness::Approach;
 
 int main(int argc, char** argv) {
   const auto args = harness::BenchArgs::parse(argc, argv);
+  harness::RunArtifacts art(args, "fig3c_maxops_sweep", argc, argv);
   const std::uint32_t nthreads = args.threads ? args.threads : 35;
 
   std::vector<std::uint64_t> maxops =
@@ -32,14 +35,18 @@ int main(int argc, char** argv) {
   if (args.window) base.window = args.window;
   if (args.reps) base.reps = args.reps;
 
-  const double mp_ref = harness::run_counter(base, Approach::kMpServer).mops;
-  const double shm_ref =
-      harness::run_counter(base, Approach::kShmServer).mops;
+  harness::RunCfg ref = base;
+  ref.obs = art.next_run("mp-server/ref");
+  const double mp_ref = harness::run_counter(ref, Approach::kMpServer).mops;
+  ref.obs = art.next_run("shm-server/ref");
+  const double shm_ref = harness::run_counter(ref, Approach::kShmServer).mops;
 
   for (std::uint64_t m : maxops) {
     harness::RunCfg cfg = base;
     cfg.max_ops = m;
+    cfg.obs = art.next_run("HybComb/max_ops" + std::to_string(m));
     const auto hyb = harness::run_counter(cfg, Approach::kHybComb);
+    cfg.obs = art.next_run("CC-Synch/max_ops" + std::to_string(m));
     const auto cc = harness::run_counter(cfg, Approach::kCcSynch);
     table.add_row({std::to_string(m), harness::fmt(hyb.mops),
                    harness::fmt(cc.mops), harness::fmt(mp_ref),
@@ -50,5 +57,6 @@ int main(int argc, char** argv) {
   table.print("Fig. 3c: peak throughput (Mops/s) vs MAX_OPS, " +
               std::to_string(nthreads) + " threads");
   if (!args.csv.empty()) table.write_csv(args.csv);
+  art.finalize();
   return 0;
 }

@@ -8,8 +8,10 @@
 // registration window of Section 4.2 occasionally leaves a combiner with
 // little work).
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "harness/artifact.hpp"
 #include "harness/report.hpp"
 #include "harness/workload.hpp"
 
@@ -18,6 +20,7 @@ using harness::Approach;
 
 int main(int argc, char** argv) {
   const auto args = harness::BenchArgs::parse(argc, argv);
+  harness::RunArtifacts art(args, "fig4b_combining_rate", argc, argv);
 
   std::vector<std::uint32_t> threads =
       args.full ? std::vector<std::uint32_t>{2, 4, 6, 8, 10, 12, 14, 16, 18,
@@ -33,7 +36,9 @@ int main(int argc, char** argv) {
     cfg.seed = args.seed;
     if (args.window) cfg.window = args.window;
     if (args.reps) cfg.reps = args.reps;
+    cfg.obs = art.next_run("HybComb/t" + std::to_string(t));
     const auto hyb = harness::run_counter(cfg, Approach::kHybComb);
+    cfg.obs = art.next_run("CC-Synch/t" + std::to_string(t));
     const auto cc = harness::run_counter(cfg, Approach::kCcSynch);
     table.add_row({std::to_string(t), harness::fmt(hyb.combining_rate, 1),
                    harness::fmt(cc.combining_rate, 1)});
@@ -41,5 +46,6 @@ int main(int argc, char** argv) {
   }
   table.print("Fig. 4b: actual combining rate vs threads (MAX_OPS=200)");
   if (!args.csv.empty()) table.write_csv(args.csv);
+  art.finalize();
   return 0;
 }

@@ -11,8 +11,10 @@
 // disabled (ablation A4 of DESIGN.md: the overlap mechanism).
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "harness/artifact.hpp"
 #include "harness/report.hpp"
 #include "harness/workload.hpp"
 
@@ -21,7 +23,8 @@ using harness::Approach;
 
 namespace {
 
-void sweep(const harness::BenchArgs& args, bool prefetch) {
+void sweep(const harness::BenchArgs& args, harness::RunArtifacts& art,
+           bool prefetch) {
   std::vector<std::uint64_t> lens =
       args.full ? std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5, 6, 8, 10, 12,
                                              14, 15}
@@ -41,6 +44,9 @@ void sweep(const harness::BenchArgs& args, bool prefetch) {
     if (args.reps) cfg.reps = args.reps;
     std::vector<std::string> row{std::to_string(len)};
     for (Approach a : order) {
+      cfg.obs = art.next_run(std::string(harness::approach_name(a)) + "/cs" +
+                             std::to_string(len) +
+                             (prefetch ? "" : "/noprefetch"));
       const auto r = harness::run_counter(cfg, a);
       // Average CS execution time = aggregate cycles per op at saturation.
       row.push_back(harness::fmt(r.cycles_per_op, 1));
@@ -61,11 +67,13 @@ void sweep(const harness::BenchArgs& args, bool prefetch) {
 
 int main(int argc, char** argv) {
   const auto args = harness::BenchArgs::parse(argc, argv);
+  harness::RunArtifacts art(args, "fig4c_cs_length", argc, argv);
   bool ablation = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-prefetch") == 0) ablation = true;
   }
-  sweep(args, /*prefetch=*/true);
-  if (ablation || args.full) sweep(args, /*prefetch=*/false);
+  sweep(args, art, /*prefetch=*/true);
+  if (ablation || args.full) sweep(args, art, /*prefetch=*/false);
+  art.finalize();
   return 0;
 }

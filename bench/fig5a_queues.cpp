@@ -10,8 +10,10 @@
 // the best shared-memory variant); LCRQ and mp-server-2 level off sooner
 // (controller-serialized atomics, resp. fence costs).
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "harness/artifact.hpp"
 #include "harness/report.hpp"
 #include "harness/workload.hpp"
 
@@ -20,6 +22,7 @@ using harness::QueueImpl;
 
 int main(int argc, char** argv) {
   const auto args = harness::BenchArgs::parse(argc, argv);
+  harness::RunArtifacts art(args, "fig5a_queues", argc, argv);
 
   std::vector<std::uint32_t> threads =
       args.full ? std::vector<std::uint32_t>{1, 2, 4, 6, 8, 10, 12, 14, 16,
@@ -42,6 +45,8 @@ int main(int argc, char** argv) {
     if (args.reps) cfg.reps = args.reps;
     std::vector<std::string> row{std::to_string(t)};
     for (QueueImpl q : order) {
+      cfg.obs = art.next_run(std::string(harness::queue_name(q)) + "/t" +
+                             std::to_string(t));
       const auto r = harness::run_queue(cfg, q);
       row.push_back(harness::fmt(r.mops));
     }
@@ -50,5 +55,6 @@ int main(int argc, char** argv) {
   }
   table.print("Fig. 5a: queue throughput (Mops/s) under balanced load");
   if (!args.csv.empty()) table.write_csv(args.csv);
+  art.finalize();
   return 0;
 }

@@ -8,8 +8,10 @@
 // Treiber trails every blocking implementation, as contended CAS retries on
 // the top pointer dominate.
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "harness/artifact.hpp"
 #include "harness/report.hpp"
 #include "harness/workload.hpp"
 
@@ -18,6 +20,7 @@ using harness::StackImpl;
 
 int main(int argc, char** argv) {
   const auto args = harness::BenchArgs::parse(argc, argv);
+  harness::RunArtifacts art(args, "fig5b_stacks", argc, argv);
 
   std::vector<std::uint32_t> threads =
       args.full ? std::vector<std::uint32_t>{1, 2, 4, 6, 8, 10, 12, 14, 16,
@@ -39,6 +42,8 @@ int main(int argc, char** argv) {
     if (args.reps) cfg.reps = args.reps;
     std::vector<std::string> row{std::to_string(t)};
     for (StackImpl s : order) {
+      cfg.obs = art.next_run(std::string(harness::stack_name(s)) + "/t" +
+                             std::to_string(t));
       const auto r = harness::run_stack(cfg, s);
       row.push_back(harness::fmt(r.mops));
     }
@@ -47,5 +52,6 @@ int main(int argc, char** argv) {
   }
   table.print("Fig. 5b: stack throughput (Mops/s) under balanced load");
   if (!args.csv.empty()) table.write_csv(args.csv);
+  art.finalize();
   return 0;
 }

@@ -6,8 +6,10 @@
 //   * fairness (max/min per-thread ops) <= ~1.2 for HYBCOMB and ~1.1 for
 //     MP-SERVER (cores nearer to the server complete slightly more ops).
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "harness/artifact.hpp"
 #include "harness/report.hpp"
 #include "harness/workload.hpp"
 
@@ -16,6 +18,7 @@ using harness::Approach;
 
 int main(int argc, char** argv) {
   const auto args = harness::BenchArgs::parse(argc, argv);
+  harness::RunArtifacts art(args, "sec53_scalar_claims", argc, argv);
 
   harness::Table table({"metric", "paper", "measured"});
 
@@ -25,9 +28,13 @@ int main(int argc, char** argv) {
   if (args.window) hi.window = args.window;
   if (args.reps) hi.reps = args.reps;
 
+  hi.obs = art.next_run("mp-server/hi");
   const auto mp = harness::run_counter(hi, Approach::kMpServer);
+  hi.obs = art.next_run("shm-server/hi");
   const auto shm = harness::run_counter(hi, Approach::kShmServer);
+  hi.obs = art.next_run("HybComb/hi");
   const auto hyb = harness::run_counter(hi, Approach::kHybComb);
+  hi.obs = art.next_run("CC-Synch/hi");
   const auto cc = harness::run_counter(hi, Approach::kCcSynch);
 
   table.add_row({"mp-server / shm-server peak throughput", "4.3x",
@@ -43,6 +50,7 @@ int main(int argc, char** argv) {
   for (std::uint32_t t : {2u, 5u, 8u, 12u, 20u, 28u, 35u}) {
     harness::RunCfg cfg = hi;
     cfg.app_threads = t;
+    cfg.obs = art.next_run("HybComb/t" + std::to_string(t));
     const auto r = harness::run_counter(cfg, Approach::kHybComb);
     if (r.cas_per_op > worst_cas) worst_cas = r.cas_per_op;
     if (r.fairness > worst_fair_hyb) worst_fair_hyb = r.fairness;
@@ -57,5 +65,6 @@ int main(int argc, char** argv) {
 
   table.print("Section 5.3: scalar claims, paper vs measured");
   if (!args.csv.empty()) table.write_csv(args.csv);
+  art.finalize();
   return 0;
 }

@@ -16,9 +16,11 @@
 //     (credit-based in-flight throttling, combiner-stall detection); see
 //     docs/ROBUSTNESS.md.
 #include <cstdio>
+#include <string>
 
 #include "arch/params.hpp"
 #include "ds/counter.hpp"
+#include "harness/artifact.hpp"
 #include "harness/report.hpp"
 #include "harness/workload.hpp"
 #include "runtime/sim_executor.hpp"
@@ -72,7 +74,8 @@ sim::FaultPlan fault_plan(std::uint64_t seed) {
   return fp;
 }
 
-void fault_scenarios(harness::Table& table, const harness::BenchArgs& args) {
+void fault_scenarios(harness::Table& table, const harness::BenchArgs& args,
+                     harness::RunArtifacts& art) {
   harness::RunCfg cfg;
   cfg.app_threads = args.threads ? args.threads : 16;
   cfg.window = args.window ? args.window : 150'000;
@@ -98,6 +101,9 @@ void fault_scenarios(harness::Table& table, const harness::BenchArgs& args) {
     harness::RunCfg c = cfg;
     c.max_inflight = sc.max_inflight;
     c.stall_timeout = sc.stall_timeout;
+    c.obs = art.next_run(std::string(harness::approach_name(sc.a)) +
+                         "/inflight" + std::to_string(sc.max_inflight) +
+                         "/stall" + std::to_string(sc.stall_timeout));
     const harness::RunResult r = harness::run_counter(c, sc.a);
     table.add_row({harness::approach_name(sc.a),
                    std::to_string(sc.max_inflight),
@@ -117,6 +123,7 @@ void fault_scenarios(harness::Table& table, const harness::BenchArgs& args) {
 
 int main(int argc, char** argv) {
   const auto args = harness::BenchArgs::parse(argc, argv);
+  harness::RunArtifacts art(args, "sec6_overflow", argc, argv);
   const sim::Cycle horizon = args.window ? args.window : 300'000;
 
   harness::Table table({"app_threads", "buffer(words)", "max_inflight",
@@ -156,9 +163,10 @@ int main(int argc, char** argv) {
   harness::Table ftable({"approach", "max_inflight", "stall_timeout", "mops",
                          "total_ops", "throttle_waits", "stall_timeouts",
                          "preemptions", "verdict"});
-  fault_scenarios(ftable, args);
+  fault_scenarios(ftable, args, art);
   ftable.print(
       "Section 6: buffer pressure + combiner preemption (fault injection)");
   if (!args.csv.empty()) ftable.write_csv(args.csv + ".faults.csv");
+  art.finalize();
   return 0;
 }

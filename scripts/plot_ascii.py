@@ -5,12 +5,33 @@ ASCII chart, so figure shapes can be eyeballed without a plotting stack.
 Usage:
     ./build/bench/fig3a_counter_throughput --csv 3a.csv
     scripts/plot_ascii.py 3a.csv [--height 20] [--width 70]
+
+With --stalls the input is a --json run artifact (docs/OBSERVABILITY.md)
+instead of a CSV: renders one bar per run showing how the servicing core's
+cycles split across the CycleAccount buckets.
+
+    ./build/bench/fig4a_stall_breakdown --json 4a.json
+    scripts/plot_ascii.py --stalls 4a.json
 """
 import argparse
 import csv
+import json
 import sys
 
 MARKS = "ox+*#@%&"
+
+# (bucket key in the artifact, bar character) — idle excluded: the bar shows
+# how the core's *active* cycles split.
+STALL_BUCKETS = [
+    ("compute", "."),
+    ("coherence-read", "R"),
+    ("coherence-write", "W"),
+    ("atomic", "A"),
+    ("udn-send-block", "S"),
+    ("udn-recv-wait", "u"),
+    ("spin", "~"),
+    ("preempted", "P"),
+]
 
 
 def load(path):
@@ -59,13 +80,48 @@ def render(header, xs, series, width, height):
         print(f"   {MARKS[si % len(MARKS)]} = {name}")
 
 
+def render_stalls(path, width):
+    with open(path) as f:
+        doc = json.load(f)
+    runs = doc.get("runs", [])
+    runs = [r for r in runs if r.get("cycle_accounts")]
+    if not runs:
+        print("no runs with cycle accounts in artifact")
+        return
+    labw = max(len(r.get("label", "?")) for r in runs)
+    print(f"stall breakdown at the servicing core — {doc.get('bench', '?')}")
+    for r in runs:
+        acc = r["cycle_accounts"][0]  # core 0 = the servicing core
+        active = sum(acc.get(k, 0) for k, _ in STALL_BUCKETS)
+        bar = ""
+        for key, mark in STALL_BUCKETS:
+            bar += mark * int(round(acc.get(key, 0) / active * width) if active else 0)
+        bar = bar[:width].ljust(width)
+        stalled = sum(
+            acc.get(k, 0)
+            for k in ("coherence-read", "coherence-write", "atomic", "preempted")
+        )
+        share = stalled / active if active else 0.0
+        print(f"  {r.get('label', '?'):<{labw}} |{bar}| {share:5.1%} stalled")
+    legend = "  ".join(f"{mark}={key}" for key, mark in STALL_BUCKETS)
+    print(f"   {legend}")
+
+
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("csv")
+    ap.add_argument("input", help="bench CSV, or --json artifact with --stalls")
     ap.add_argument("--width", type=int, default=70)
     ap.add_argument("--height", type=int, default=20)
+    ap.add_argument(
+        "--stalls",
+        action="store_true",
+        help="render the per-run cycle-account breakdown from a --json artifact",
+    )
     args = ap.parse_args()
-    header, xs, series = load(args.csv)
+    if args.stalls:
+        render_stalls(args.input, args.width)
+        return 0
+    header, xs, series = load(args.input)
     render(header, xs, series, args.width, args.height)
     return 0
 

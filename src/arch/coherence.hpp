@@ -92,8 +92,13 @@ class CoherenceModel {
   const Counters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }
 
-  /// Attaches a hot-line profiler (nullptr detaches). Not owned.
-  void attach_profiler(CoherenceProfiler* p) { prof_ = p; }
+  /// Attaches a hot-line profiler (nullptr detaches). Not owned. The
+  /// profiler's label() divisor is synced to this machine's line size so
+  /// labels land on the same lines the model accounts to.
+  void attach_profiler(CoherenceProfiler* p) {
+    prof_ = p;
+    if (p) p->set_line_bytes(p_.line_bytes);
+  }
   CoherenceProfiler* profiler() { return prof_; }
 
   /// Drops all line state (fresh caches). Mostly for tests. First-touch

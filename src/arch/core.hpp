@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "obs/cycle_account.hpp"
 #include "sim/types.hpp"
 
 namespace hmps::arch {
@@ -19,6 +20,12 @@ struct CoreState {
   sim::Cycle busy = 0;
   sim::Cycle stall = 0;
   sim::Cycle idle = 0;
+
+  // Exact per-cause attribution of the core's timeline (obs layer): after
+  // Machine::settle_accounts() the buckets sum to the elapsed simulated
+  // cycles. The coarse busy/stall/idle trio above is kept as the legacy
+  // fast-glance view; SimCtx charges both.
+  obs::CycleAccount account;
 
   // Single-entry posted-write buffer (weakly ordered stores). A store miss
   // retires in the background until `wb_ready`; the next store miss or a
@@ -48,7 +55,12 @@ struct CoreState {
   sim::Cycle preempt_stall = 0;
   std::uint64_t preemptions = 0;
 
-  void reset_window() { *this = CoreState{}; }
+  /// Zeroes the window counters. The cycle account restarts at `now` (its
+  /// watermark must track simulated time, not snap back to zero).
+  void reset_window(sim::Cycle now) {
+    *this = CoreState{};
+    account.reset(now);
+  }
 };
 
 }  // namespace hmps::arch

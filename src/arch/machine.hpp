@@ -24,7 +24,11 @@ class Machine {
         topo_(params_),
         coh_(params_, topo_),
         udn_(params_, topo_, sched_),
-        cores_(topo_.cores()) {}
+        cores_(topo_.cores()) {
+    // The tracer pointer is one branch on the UDN send path; flow events
+    // are only recorded while the tracer is enabled.
+    udn_.attach_tracer(&tracer_);
+  }
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -54,9 +58,17 @@ class Machine {
   /// without touching functional state, so a measurement can start after
   /// warmup.
   void reset_window_counters() {
-    for (auto& c : cores_) c.reset_window();
+    for (auto& c : cores_) c.reset_window(sched_.now());
     coh_.reset_counters();
     udn_.reset_counters();
+  }
+
+  /// Idle-fills every core's cycle account up to the current simulated
+  /// time, so per-core buckets sum to elapsed cycles. Call before reading
+  /// accounts at a window boundary.
+  void settle_accounts() {
+    const sim::Cycle t = sched_.now();
+    for (auto& c : cores_) c.account.settle(t);
   }
 
  private:

@@ -33,12 +33,21 @@ class CoherenceProfiler {
     std::uint64_t traffic() const { return rmr_reads + rmr_writes + atomics; }
   };
 
-  /// Associates a human-readable name with the line holding `addr`.
-  void label(const void* addr, std::string name,
-             std::uint32_t line_bytes = 64) {
-    labels_[reinterpret_cast<std::uint64_t>(addr) / line_bytes] =
+  /// Associates a human-readable name with the line holding `addr`. The
+  /// divisor is the machine's configured line size (set when the profiler
+  /// is attached via CoherenceModel::attach_profiler); a hardcoded 64 here
+  /// used to mislabel lines on machines configured with a different size.
+  void label(const void* addr, std::string name) {
+    labels_[reinterpret_cast<std::uint64_t>(addr) / line_bytes_] =
         std::move(name);
   }
+
+  /// Line size used by label() to map addresses to lines. attach_profiler
+  /// keeps this equal to MachineParams::line_bytes.
+  void set_line_bytes(std::uint32_t bytes) {
+    if (bytes) line_bytes_ = bytes;
+  }
+  std::uint32_t line_bytes() const { return line_bytes_; }
 
   // Recording hooks (called by CoherenceModel when attached).
   void on_hit(std::uint64_t line) { stats_[line].hits++; }
@@ -79,6 +88,7 @@ class CoherenceProfiler {
   void reset() { stats_.clear(); }
 
  private:
+  std::uint32_t line_bytes_ = 64;
   std::unordered_map<std::uint64_t, LineStats> stats_;
   std::unordered_map<std::uint64_t, std::string> labels_;
 };

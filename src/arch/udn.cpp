@@ -75,6 +75,16 @@ void UdnModel::send(Tid src, Tid dst, std::uint32_t queue,
       p_.udn_per_word_wire * static_cast<Cycle>(n);
   b.port_busy = deliver;
 
+  // Flow-event pair for the trace: the delivery time is already known, so
+  // both halves are recorded here rather than growing the delivery event's
+  // capture (which must stay within the queue's inline storage). Chrome
+  // trace JSON does not require timestamp order; the viewer sorts.
+  if (tracer_ && tracer_->enabled()) {
+    const std::uint64_t fid = tracer_->next_flow_id();
+    tracer_->flow_start(src, "udn-msg", now, fid);
+    tracer_->flow_end(dst, "udn-msg", deliver, fid);
+  }
+
   // Bulk-copy the payload into the destination ring now (the credit reserve
   // above guarantees space) and schedule a small delivery event that only
   // publishes the words. Staging order matches delivery order: deliver times

@@ -33,6 +33,7 @@
 #include "arch/topology.hpp"
 #include "sim/fault.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
 #include "sim/types.hpp"
 
 namespace hmps::arch {
@@ -118,6 +119,12 @@ class UdnModel {
 
   NocModel& noc() { return noc_; }
 
+  /// Attaches a tracer (nullptr detaches; not owned). While the tracer is
+  /// enabled, every message records a Perfetto flow-event pair: "s" on the
+  /// sending core at send time, "f" on the destination core at delivery
+  /// time, sharing a fresh flow id. Pure observation — no timing effect.
+  void attach_tracer(sim::Tracer* t) { tracer_ = t; }
+
   /// Attaches the machine's fault injector (and forwards it to the NoC).
   /// When a plan with UDN pressure is active, sends see a shrunk credit
   /// window and deliveries may take extra latency; the injector's window
@@ -188,6 +195,7 @@ class UdnModel {
   NocModel noc_;
   sim::Scheduler& sched_;
   sim::FaultInjector* faults_ = nullptr;
+  sim::Tracer* tracer_ = nullptr;
   std::size_t nq_;
   std::vector<Buffer> bufs_;
   Counters counters_;

@@ -1,0 +1,47 @@
+#include "harness/artifact.hpp"
+
+#include <cstdio>
+
+namespace hmps::harness {
+
+RunArtifacts::RunArtifacts(const BenchArgs& args, const std::string& bench,
+                           int argc, char** argv)
+    : json_path_(args.json), trace_path_(args.trace) {
+  if (!json_path_.empty()) metrics_.stamp(bench, argc, argv);
+}
+
+RunObs RunArtifacts::next_run(std::string label) {
+  labels_.push_back(std::move(label));
+  RunObs o;
+  o.label = labels_.back().c_str();
+  o.pid = next_pid_++;
+  if (!json_path_.empty()) o.metrics = &metrics_;
+  if (!trace_path_.empty()) o.trace = &trace_;
+  return o;
+}
+
+void RunArtifacts::finalize() {
+  if (!json_path_.empty()) {
+    // Surface trace health in the metrics artifact too, so a consumer of
+    // the JSON alone learns about dropped trace events.
+    if (!trace_path_.empty()) {
+      metrics_.root()["trace"] =
+          obs::MetricsRegistry::tracer_json(trace_);
+    }
+    if (metrics_.write(json_path_)) {
+      std::printf("artifact: wrote %s (%zu runs)\n", json_path_.c_str(),
+                  metrics_.root()["runs"].size());
+    } else {
+      std::fprintf(stderr, "artifact: FAILED to write %s\n",
+                   json_path_.c_str());
+    }
+  }
+  if (!trace_path_.empty()) {
+    trace_.write_chrome_json(trace_path_);
+    std::printf("artifact: wrote %s (%zu events, %llu dropped)\n",
+                trace_path_.c_str(), trace_.size(),
+                static_cast<unsigned long long>(trace_.dropped()));
+  }
+}
+
+}  // namespace hmps::harness

@@ -1,0 +1,53 @@
+// Per-binary plumbing for the machine-readable run artifacts
+// (docs/OBSERVABILITY.md): one RunArtifacts per bench main() owns the
+// MetricsRegistry behind --json and the merged trace sink behind --trace,
+// and hands every benchmark run a RunObs with a unique Chrome-trace pid so
+// runs land on separate tracks in the merged file.
+//
+// With neither flag given every sink is null and the benches behave exactly
+// as before; call finalize() once after the last run to write the files.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+#include "obs/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace hmps::harness {
+
+class RunArtifacts {
+ public:
+  /// `bench` names the binary in the artifact header; argv is recorded
+  /// verbatim for reproducibility.
+  RunArtifacts(const BenchArgs& args, const std::string& bench, int argc,
+               char** argv);
+
+  /// True when --json or --trace was given (callers may skip labeling work
+  /// otherwise, though next_run() is always safe).
+  bool active() const { return !json_path_.empty() || !trace_path_.empty(); }
+
+  /// Observability sinks for the next benchmark run. The label is kept
+  /// alive by this object (RunObs::label is a borrowed pointer).
+  RunObs next_run(std::string label);
+
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  sim::Tracer& trace() { return trace_; }
+
+  /// Writes the requested artifact files (no-op for flags not given) and
+  /// prints one confirmation line per file.
+  void finalize();
+
+ private:
+  std::string json_path_;
+  std::string trace_path_;
+  obs::MetricsRegistry metrics_;
+  sim::Tracer trace_;  ///< merged destination; stays disabled (sink only)
+  std::deque<std::string> labels_;  ///< stable storage for RunObs::label
+  std::uint32_t next_pid_ = 0;
+};
+
+}  // namespace hmps::harness

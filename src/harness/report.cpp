@@ -65,6 +65,10 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       a.full = true;
     } else if (std::strcmp(s, "--csv") == 0) {
       a.csv = next();
+    } else if (std::strcmp(s, "--json") == 0) {
+      a.json = next();
+    } else if (std::strcmp(s, "--trace") == 0) {
+      a.trace = next();
     } else if (std::strcmp(s, "--threads") == 0) {
       a.threads = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (std::strcmp(s, "--window") == 0) {
@@ -74,8 +78,8 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     } else if (std::strcmp(s, "--seed") == 0) {
       a.seed = std::strtoull(next(), nullptr, 10);
     } else if (std::strcmp(s, "--help") == 0) {
-      std::cout << "flags: [--full] [--csv FILE] [--threads N] "
-                   "[--window CYCLES] [--reps N] [--seed N]\n";
+      std::cout << "flags: [--full] [--csv FILE] [--json FILE] [--trace FILE] "
+                   "[--threads N] [--window CYCLES] [--reps N] [--seed N]\n";
       std::exit(0);
     }
   }

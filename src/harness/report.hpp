@@ -32,12 +32,16 @@ class Table {
 /// Formats a double with `prec` decimals.
 std::string fmt(double v, int prec = 2);
 
-/// Standard bench command line: [--full] [--csv FILE] [--threads N]
-/// [--window CYCLES] [--reps N] [--seed N]. Benches scale their sweeps with
-/// `full`.
+/// Standard bench command line: [--full] [--csv FILE] [--json FILE]
+/// [--trace FILE] [--threads N] [--window CYCLES] [--reps N] [--seed N].
+/// Benches scale their sweeps with `full`. `--json` writes the
+/// machine-readable run artifact and `--trace` the Chrome/Perfetto trace
+/// (docs/OBSERVABILITY.md); both are wired through harness::RunArtifacts.
 struct BenchArgs {
   bool full = false;
   std::string csv;
+  std::string json;   ///< metrics artifact path ("" = off)
+  std::string trace;  ///< Chrome trace-event JSON path ("" = off)
   std::uint32_t threads = 0;  // 0 = bench default
   std::uint64_t window = 0;   // 0 = bench default
   std::uint32_t reps = 0;     // 0 = bench default

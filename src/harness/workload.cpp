@@ -8,7 +8,9 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/stats.hpp"
+#include "sim/trace.hpp"
 
 #include "ds/counter.hpp"
 #include "ds/lcrq.hpp"
@@ -83,6 +85,8 @@ struct Snapshot {
   std::uint64_t served = 0;  // CSes executed by the servicing thread(s)
   std::uint64_t msgs = 0;
   Cycle ctrl_wait = 0;
+  // Settled per-core cycle accounts (monotonic; windows are diffs).
+  std::vector<obs::CycleAccount> accounts;
 };
 
 struct DriverHooks {
@@ -101,6 +105,14 @@ RunResult drive(const RunCfg& cfg, DriverHooks hooks) {
   // land deterministically; a disabled plan leaves the machine untouched
   // (and the golden traces byte-identical).
   if (cfg.faults.enabled()) ex.machine().install_faults(cfg.faults);
+  // Tracing only observes — recording never advances simulated time, so
+  // runs with and without a trace sink produce identical timings (pinned by
+  // tests/test_obs.cpp).
+  const bool tracing = cfg.obs.trace != nullptr;
+  if (tracing) {
+    ex.machine().tracer().enable(cfg.obs.trace_max_events);
+    ex.machine().tracer().set_process(cfg.obs.pid, cfg.obs.label);
+  }
   const std::uint32_t ns = static_cast<std::uint32_t>(hooks.servers.size());
   const std::uint32_t na = cfg.app_threads;
 
@@ -139,12 +151,18 @@ RunResult drive(const RunCfg& cfg, DriverHooks hooks) {
     s.served = s.stats.served;
     s.msgs = ex.machine().udn().counters().messages;
     s.ctrl_wait = ex.machine().coherence().counters().ctrl_wait_total;
+    ex.machine().settle_accounts();
+    s.accounts.reserve(ex.machine().cores());
+    for (std::uint32_t c = 0; c < ex.machine().cores(); ++c) {
+      s.accounts.push_back(ex.machine().core(c).account);
+    }
     return s;
   };
 
   ex.run_until(cfg.warmup);
   measuring = true;
-  Snapshot prev = snap();
+  const Snapshot first = snap();
+  Snapshot prev = first;
 
   RunResult r;
   std::vector<double> rep_mops;
@@ -227,6 +245,66 @@ RunResult drive(const RunCfg& cfg, DriverHooks hooks) {
   r.stall_timeouts = stat_delta.stall_timeouts;
   for (std::uint32_t c = 0; c < ex.machine().cores(); ++c) {
     r.preemptions += ex.machine().core(c).preemptions;
+  }
+  // Exact attribution of the servicing core over the measurement windows.
+  // Both endpoints are settled, so the buckets sum to reps * window.
+  r.serv_account = prev.accounts[0].diff_since(first.accounts[0]);
+  r.serv_ops = serv_ops;
+
+  if (cfg.obs.metrics != nullptr) {
+    using obs::JsonValue;
+    using obs::MetricsRegistry;
+    JsonValue& run = cfg.obs.metrics->add_run(cfg.obs.label);
+    JsonValue& c = run["config"];
+    c["app_threads"] = JsonValue(std::uint64_t{cfg.app_threads});
+    c["servers"] = JsonValue(std::uint64_t{ns});
+    c["warmup"] = JsonValue(std::uint64_t{cfg.warmup});
+    c["window"] = JsonValue(std::uint64_t{cfg.window});
+    c["reps"] = JsonValue(std::uint64_t{cfg.reps});
+    c["seed"] = JsonValue(cfg.seed);
+    c["max_ops"] = JsonValue(cfg.max_ops);
+    c["think_iters_max"] = JsonValue(std::uint64_t{cfg.think_iters_max});
+    c["think_iter_cost"] = JsonValue(std::uint64_t{cfg.think_iter_cost});
+    c["cs_iters"] = JsonValue(cfg.cs_iters);
+    c["fixed_combiner"] = JsonValue(cfg.fixed_combiner);
+    c["max_inflight"] = JsonValue(cfg.max_inflight);
+    c["stall_timeout"] = JsonValue(std::uint64_t{cfg.stall_timeout});
+    c["faults_enabled"] = JsonValue(cfg.faults.enabled());
+    JsonValue& res = run["results"];
+    res["mops"] = JsonValue(r.mops);
+    res["mops_std"] = JsonValue(r.mops_std);
+    res["lat_mean"] = JsonValue(r.lat_mean);
+    res["lat_p50"] = JsonValue(r.lat_p50);
+    res["lat_p99"] = JsonValue(r.lat_p99);
+    res["serv_total_per_op"] = JsonValue(r.serv_total_per_op);
+    res["serv_stall_per_op"] = JsonValue(r.serv_stall_per_op);
+    res["combining_rate"] = JsonValue(r.combining_rate);
+    res["cas_per_op"] = JsonValue(r.cas_per_op);
+    res["fairness"] = JsonValue(r.fairness);
+    res["msgs_per_op"] = JsonValue(r.msgs_per_op);
+    res["ctrl_wait_per_op"] = JsonValue(r.ctrl_wait_per_op);
+    res["cycles_per_op"] = JsonValue(r.cycles_per_op);
+    res["total_ops"] = JsonValue(r.total_ops);
+    res["throttle_waits"] = JsonValue(r.throttle_waits);
+    res["stall_timeouts"] = JsonValue(r.stall_timeouts);
+    res["preemptions"] = JsonValue(r.preemptions);
+    res["serv_ops"] = JsonValue(r.serv_ops);
+    run["machine_params"] = MetricsRegistry::params_json(cfg.machine);
+    run["sync_stats"] = MetricsRegistry::sync_stats_json(stat_delta);
+    run["machine"] = MetricsRegistry::machine_json(ex.machine());
+    // Windowed (post-warmup) per-core attribution; [0] is the servicing
+    // core for the server/combiner constructions.
+    JsonValue& accts = run["cycle_accounts"];
+    for (std::size_t core = 0; core < prev.accounts.size(); ++core) {
+      accts.push_back(MetricsRegistry::cycle_account_json(
+          prev.accounts[core].diff_since(first.accounts[core])));
+    }
+    if (tracing) {
+      run["trace"] = MetricsRegistry::tracer_json(ex.machine().tracer());
+    }
+  }
+  if (tracing) {
+    cfg.obs.trace->merge_from(ex.machine().tracer());
   }
   return r;
 }

@@ -15,8 +15,16 @@
 #include <string>
 
 #include "arch/params.hpp"
+#include "obs/cycle_account.hpp"
 #include "sim/fault.hpp"
 #include "sim/types.hpp"
+
+namespace hmps::sim {
+class Tracer;
+}
+namespace hmps::obs {
+class MetricsRegistry;
+}
 
 namespace hmps::harness {
 
@@ -45,6 +53,17 @@ const char* queue_name(QueueImpl q);
 enum class StackImpl { kMp, kHyb, kShm, kCc, kTreiber };
 const char* stack_name(StackImpl s);
 
+/// Observability sinks for one benchmark run (see harness/artifact.hpp for
+/// the per-binary plumbing). All pointers are optional and not owned; with
+/// everything null the run behaves exactly as before.
+struct RunObs {
+  sim::Tracer* trace = nullptr;  ///< merged destination for the run's trace
+  obs::MetricsRegistry* metrics = nullptr;  ///< artifact to add a run entry to
+  const char* label = "";        ///< run label (row name in the artifact)
+  std::uint32_t pid = 0;         ///< Chrome-trace pid for this run's events
+  std::size_t trace_max_events = 200'000;  ///< per-run tracer cap
+};
+
 struct RunCfg {
   arch::MachineParams machine = arch::MachineParams::tilegx36();
   std::uint32_t app_threads = 1;    ///< application threads (servers extra)
@@ -62,6 +81,7 @@ struct RunCfg {
   std::uint64_t max_inflight = 0;     ///< Section 6 overflow guard for
                                       ///< MP-SERVER/HYBCOMB (0 = off)
   sim::Cycle stall_timeout = 0;       ///< HYBCOMB combiner-stall knob
+  RunObs obs{};                       ///< observability sinks (all off)
 };
 
 struct RunResult {
@@ -83,6 +103,11 @@ struct RunResult {
   std::uint64_t throttle_waits = 0;  ///< spins for an in-flight credit
   std::uint64_t stall_timeouts = 0;  ///< combiner-stall timeouts observed
   std::uint64_t preemptions = 0;     ///< injected preemption windows hit
+  // Exact cycle attribution of the servicing core (core 0) over the
+  // measurement windows: buckets sum to reps * window by construction
+  // (fig4a reads its stall breakdown straight from this).
+  obs::CycleAccount serv_account{};
+  double serv_ops = 0;  ///< ops the servicing core's account is divided by
 };
 
 /// Concurrent counter under the given approach (Figs. 3a-c, 4a-b; with

@@ -1,0 +1,431 @@
+// Minimal JSON document model for machine-readable run artifacts.
+//
+// Design constraints (docs/OBSERVABILITY.md):
+//   * dependency-free below everything else (sim::Tracer uses the escaper),
+//   * objects keep insertion order, so two artifacts from the same code path
+//     are byte-identical and diff cleanly,
+//   * integers round-trip exactly (cycle counters exceed double's 53-bit
+//     significand on long runs),
+//   * a parser ships alongside the writer so tests can assert round-trips
+//     without an external JSON library.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hmps::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included). Handles quote, backslash, and control characters.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// An ordered JSON value: null, bool, integer, double, string, array or
+/// object. Objects are vectors of (key, value) pairs in insertion order.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  JsonValue() = default;
+  JsonValue(bool b) : kind_(Kind::kBool), b_(b) {}
+  JsonValue(int v) : kind_(Kind::kInt), i_(v) {}
+  JsonValue(long v) : kind_(Kind::kInt), i_(v) {}
+  JsonValue(long long v) : kind_(Kind::kInt), i_(v) {}
+  JsonValue(unsigned v) : kind_(Kind::kUint), u_(v) {}
+  JsonValue(unsigned long v) : kind_(Kind::kUint), u_(v) {}
+  JsonValue(unsigned long long v) : kind_(Kind::kUint), u_(v) {}
+  JsonValue(double v) : kind_(Kind::kDouble), d_(v) {}
+  JsonValue(const char* s) : kind_(Kind::kString), s_(s) {}
+  JsonValue(std::string s) : kind_(Kind::kString), s_(std::move(s)) {}
+
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint || kind_ == Kind::kDouble;
+  }
+
+  bool as_bool() const { return b_; }
+  std::int64_t as_int() const {
+    if (kind_ == Kind::kUint) return static_cast<std::int64_t>(u_);
+    if (kind_ == Kind::kDouble) return static_cast<std::int64_t>(d_);
+    return i_;
+  }
+  std::uint64_t as_uint() const {
+    if (kind_ == Kind::kInt) return static_cast<std::uint64_t>(i_);
+    if (kind_ == Kind::kDouble) return static_cast<std::uint64_t>(d_);
+    return u_;
+  }
+  double as_double() const {
+    if (kind_ == Kind::kInt) return static_cast<double>(i_);
+    if (kind_ == Kind::kUint) return static_cast<double>(u_);
+    return d_;
+  }
+  const std::string& as_string() const { return s_; }
+
+  // --- object access ---
+
+  /// Inserts or finds `key`; converts a null value into an object.
+  JsonValue& operator[](const std::string& key) {
+    if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+    for (auto& [k, v] : members_) {
+      if (k == key) return v;
+    }
+    members_.emplace_back(key, JsonValue{});
+    return members_.back().second;
+  }
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // --- array access ---
+
+  void push_back(JsonValue v) {
+    if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+    items_.push_back(std::move(v));
+  }
+  const std::vector<JsonValue>& items() const { return items_; }
+  std::vector<JsonValue>& items() { return items_; }
+  std::size_t size() const {
+    return kind_ == Kind::kObject ? members_.size() : items_.size();
+  }
+
+  // --- serialization ---
+
+  /// Pretty-prints with two-space indentation when `indent >= 0` (pass a
+  /// negative indent for compact single-line output).
+  void write(std::ostream& os, int indent = 0) const {
+    switch (kind_) {
+      case Kind::kNull: os << "null"; return;
+      case Kind::kBool: os << (b_ ? "true" : "false"); return;
+      case Kind::kInt: os << i_; return;
+      case Kind::kUint: os << u_; return;
+      case Kind::kDouble: {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g", d_);
+        os << buf;
+        return;
+      }
+      case Kind::kString: os << '"' << json_escape(s_) << '"'; return;
+      case Kind::kArray: {
+        if (items_.empty()) {
+          os << "[]";
+          return;
+        }
+        os << '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+          if (i) os << ',';
+          newline(os, indent + 1);
+          items_[i].write(os, child_indent(indent));
+        }
+        newline(os, indent);
+        os << ']';
+        return;
+      }
+      case Kind::kObject: {
+        if (members_.empty()) {
+          os << "{}";
+          return;
+        }
+        os << '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          if (i) os << ',';
+          newline(os, indent + 1);
+          os << '"' << json_escape(members_[i].first) << "\":";
+          if (indent >= 0) os << ' ';
+          members_[i].second.write(os, child_indent(indent));
+        }
+        newline(os, indent);
+        os << '}';
+        return;
+      }
+    }
+  }
+
+  std::string dump(int indent = 0) const;
+
+  /// Recursive-descent parse of a complete JSON text. Returns false (and
+  /// fills `err` if given) on any syntax error or trailing garbage.
+  static bool parse(std::string_view text, JsonValue* out,
+                    std::string* err = nullptr);
+
+ private:
+  static int child_indent(int indent) { return indent < 0 ? indent : indent + 1; }
+  static void newline(std::ostream& os, int indent) {
+    if (indent < 0) return;
+    os << '\n';
+    for (int i = 0; i < indent; ++i) os << "  ";
+  }
+
+  Kind kind_ = Kind::kNull;
+  bool b_ = false;
+  std::int64_t i_ = 0;
+  std::uint64_t u_ = 0;
+  double d_ = 0.0;
+  std::string s_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::vector<JsonValue> items_;
+};
+
+namespace detail {
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view t, std::string* err) : t_(t), err_(err) {}
+
+  bool run(JsonValue* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != t_.size()) return fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  bool fail(const char* what) {
+    if (err_) {
+      *err_ = std::string(what) + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < t_.size() &&
+           (t_[pos_] == ' ' || t_[pos_] == '\t' || t_[pos_] == '\n' ||
+            t_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < t_.size() && t_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view lit) {
+    if (t_.substr(pos_, lit.size()) != lit) return fail("bad literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool value(JsonValue* out) {
+    if (pos_ >= t_.size()) return fail("unexpected end of input");
+    switch (t_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': {
+        std::string s;
+        if (!string(&s)) return false;
+        *out = JsonValue(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        *out = JsonValue(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        *out = JsonValue(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        *out = JsonValue();
+        return true;
+      default: return number(out);
+    }
+  }
+
+  bool object(JsonValue* out) {
+    ++pos_;  // '{'
+    *out = JsonValue::object();
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' in object");
+      skip_ws();
+      JsonValue v;
+      if (!value(&v)) return false;
+      (*out)[key] = std::move(v);
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array(JsonValue* out) {
+    ++pos_;  // '['
+    *out = JsonValue::array();
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      skip_ws();
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->push_back(std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool string(std::string* out) {
+    if (!consume('"')) return fail("expected string");
+    out->clear();
+    while (pos_ < t_.size()) {
+      const char c = t_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= t_.size()) return fail("dangling escape");
+      const char e = t_[pos_++];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > t_.size()) return fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = t_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported:
+          // the writer never emits them for our ASCII-ish identifiers).
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JsonValue* out) {
+    const std::size_t start = pos_;
+    bool is_double = false;
+    if (pos_ < t_.size() && t_[pos_] == '-') ++pos_;
+    while (pos_ < t_.size() && std::isdigit(static_cast<unsigned char>(t_[pos_]))) ++pos_;
+    if (pos_ < t_.size() && t_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      while (pos_ < t_.size() && std::isdigit(static_cast<unsigned char>(t_[pos_]))) ++pos_;
+    }
+    if (pos_ < t_.size() && (t_[pos_] == 'e' || t_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < t_.size() && (t_[pos_] == '+' || t_[pos_] == '-')) ++pos_;
+      while (pos_ < t_.size() && std::isdigit(static_cast<unsigned char>(t_[pos_]))) ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    const std::string tok(t_.substr(start, pos_ - start));
+    if (tok == "-") return fail("bad number");
+    if (is_double) {
+      *out = JsonValue(std::strtod(tok.c_str(), nullptr));
+    } else if (tok[0] == '-') {
+      *out = JsonValue(static_cast<long long>(std::strtoll(tok.c_str(), nullptr, 10)));
+    } else {
+      *out = JsonValue(static_cast<unsigned long long>(
+          std::strtoull(tok.c_str(), nullptr, 10)));
+    }
+    return true;
+  }
+
+  std::string_view t_;
+  std::size_t pos_ = 0;
+  std::string* err_;
+};
+
+}  // namespace detail
+
+inline bool JsonValue::parse(std::string_view text, JsonValue* out,
+                             std::string* err) {
+  return detail::JsonParser(text, err).run(out);
+}
+
+inline std::string JsonValue::dump(int indent) const {
+  std::ostringstream ss;
+  write(ss, indent);
+  return ss.str();
+}
+
+}  // namespace hmps::obs

@@ -1,0 +1,75 @@
+// MetricsRegistry: one nested, machine-readable JSON document per bench
+// invocation, stamped with everything needed to reproduce the run (seed,
+// git describe, build flags, full parameter set) and holding one entry per
+// benchmark run with engine counters, coherence/UDN/fault counters,
+// per-core cycle accounts, sync stats, and results.
+//
+// The document is stable and diffable: object members are written in
+// insertion order, integers round-trip exactly, and no wall-clock
+// timestamps are embedded. Schema documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/cycle_account.hpp"
+#include "obs/json.hpp"
+
+namespace hmps::arch {
+class Machine;
+struct MachineParams;
+}  // namespace hmps::arch
+namespace hmps::sync {
+struct SyncStats;
+}
+namespace hmps::sim {
+class Tracer;
+}
+
+namespace hmps::obs {
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+
+  /// Stamps the document root with reproducibility metadata: bench name,
+  /// the exact argv, git describe, and build flags (injected at compile
+  /// time). Call once, before any add_run().
+  void stamp(const std::string& bench, int argc, char** argv);
+
+  /// Appends an empty run entry (object with its "label" set) to "runs"
+  /// and returns a reference for the caller to fill. References stay valid
+  /// until the next add_run().
+  JsonValue& add_run(const std::string& label);
+
+  JsonValue& root() { return root_; }
+  const JsonValue& root() const { return root_; }
+
+  /// Writes the document to `path` (pretty-printed). Returns false on I/O
+  /// failure.
+  bool write(const std::string& path) const;
+
+  // ---- snapshot helpers (pure functions of the source structs) ----
+
+  /// Full MachineParams serialization, sufficient to reconstruct the
+  /// machine preset from the artifact alone.
+  static JsonValue params_json(const arch::MachineParams& p);
+
+  /// Counter snapshot of a machine: engine counters, coherence counters,
+  /// UDN counters, fault-injection counters, and (when a profiler is
+  /// attached) the hottest coherence lines.
+  static JsonValue machine_json(arch::Machine& m);
+
+  static JsonValue sync_stats_json(const sync::SyncStats& s);
+
+  /// One cycle account as {"compute": N, ..., "idle": N, "total": N}.
+  static JsonValue cycle_account_json(const CycleAccount& a);
+
+  /// Tracer health: recorded and dropped event counts.
+  static JsonValue tracer_json(const sim::Tracer& t);
+
+ private:
+  JsonValue root_;
+};
+
+}  // namespace hmps::obs

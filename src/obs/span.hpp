@@ -1,0 +1,49 @@
+// RAII phase spans for synchronization algorithms: mark acquire / combine /
+// critical-section / response phases so a Perfetto trace shows *what* a core
+// was doing, not just that it was busy.
+//
+// Algorithms are templated over the execution context; only contexts that
+// expose a machine (i.e. SimCtx) carry a tracer, so Span degrades to a
+// no-op for any other context (NativeCtx) at compile time. Reading the
+// clock and recording events never advances simulated time, so spans have
+// zero observer effect on timing.
+#pragma once
+
+#include "sim/types.hpp"
+
+namespace hmps::obs {
+
+template <class Ctx>
+class Span {
+  static constexpr bool kTraced =
+      requires(Ctx& c) { c.machine().tracer().enabled(); };
+
+ public:
+  /// `name` must have static storage duration (the tracer keeps pointers).
+  Span(Ctx& ctx, const char* name) : ctx_(ctx), name_(name) {
+    if constexpr (kTraced) start_ = ctx_.now();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { finish(); }
+
+  /// Ends the span early (before scope exit). Idempotent.
+  void finish() {
+    if constexpr (kTraced) {
+      if (done_) return;
+      done_ = true;
+      ctx_.machine().tracer().event(ctx_.core(), name_, start_,
+                                    ctx_.now() - start_);
+    }
+  }
+
+ private:
+  Ctx& ctx_;
+  const char* name_;
+  sim::Cycle start_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace hmps::obs

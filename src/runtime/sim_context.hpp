@@ -39,6 +39,8 @@ class SimCtx {
         core_((*placements)[tid].core), queue_((*placements)[tid].queue),
         rng_(seed) {}
 
+  using Bucket = obs::CycleAccount::Bucket;
+
   Tid tid() const { return tid_; }
   std::uint32_t nthreads() const { return nthreads_; }
   Tid core() const { return core_; }
@@ -101,11 +103,15 @@ class SimCtx {
     fault_stall();
     auto& c = m_.core(core_);
     const Cycle t = now();
+    Cycle wait = 0;
     if (c.wb_ready > t) {
-      c.stall += c.wb_ready - t;
+      wait = c.wb_ready - t;
+      c.stall += wait;
+      charge(Bucket::kCoherenceWrite, t, t + wait);  // write-buffer drain
       m_.sched().wait_until(c.wb_ready);
     }
     c.busy += m_.params().fence_cost;
+    charge(Bucket::kCompute, t + wait, t + wait + m_.params().fence_cost);
     m_.sched().wait_for(m_.params().fence_cost);
   }
 
@@ -117,6 +123,7 @@ class SimCtx {
     c.prefetch_line = m_.coherence().line_of(addr);
     c.prefetch_ready = m_.coherence().prefetch(core_, addr, now());
     c.busy += 1;
+    charge(Bucket::kCompute, now(), now() + 1);
     m_.sched().wait_for(1);
   }
 
@@ -129,8 +136,16 @@ class SimCtx {
     const Cycle t0 = now();
     m_.udn().send(core_, core_of_thread(dst_thread),
                   queue_of_thread(dst_thread), words, n);
-    c.busy += now() - t0;  // injection cost; backpressure counts as busy-wait
-    m_.tracer().event(core_, "send", t0, now() - t0);
+    const Cycle dt = now() - t0;
+    c.busy += dt;  // injection cost; backpressure counts as busy-wait
+    // The injection tail is fixed; anything beyond it was credit
+    // backpressure (the sender suspended before reserving space).
+    const Cycle inject = m_.params().udn_inject +
+                         m_.params().udn_per_word_wire * static_cast<Cycle>(n);
+    const Cycle block = dt > inject ? dt - inject : 0;
+    charge(Bucket::kUdnSendBlock, t0, t0 + block);
+    charge(Bucket::kCompute, t0 + block, t0 + dt);
+    m_.tracer().event(core_, "send", t0, dt);
   }
 
   void send(Tid dst_thread, std::initializer_list<std::uint64_t> words) {
@@ -150,10 +165,16 @@ class SimCtx {
         m_.params().udn_recv_word * static_cast<Cycle>(n);
     if (had) {
       c.busy += dt;
+      charge(Bucket::kCompute, t0, t0 + dt);
     } else {
-      // Waiting for a message is idle time, not a pipeline stall.
+      // Waiting for a message is idle time, not a pipeline stall. The pop
+      // happens after the words arrive, so the wait leads and the register
+      // reads trail.
       c.busy += pop_cost;
       c.idle += dt > pop_cost ? dt - pop_cost : 0;
+      const Cycle wait = dt > pop_cost ? dt - pop_cost : 0;
+      charge(Bucket::kUdnRecvWait, t0, t0 + wait);
+      charge(Bucket::kCompute, t0 + wait, t0 + dt);
     }
   }
 
@@ -167,21 +188,17 @@ class SimCtx {
     fault_stall();
     auto& c = m_.core(core_);
     c.busy += 1;
+    charge(Bucket::kCompute, now(), now() + 1);
     m_.sched().wait_for(1);
     return m_.udn().queue_empty(core_, queue_);
   }
 
   // ---- execution ----
 
-  void compute(Cycle cycles) {
-    if (cycles == 0) return;
-    fault_stall();
-    m_.tracer().event(core_, "compute", now(), cycles);
-    m_.core(core_).busy += cycles;
-    m_.sched().wait_for(cycles);
-  }
+  void compute(Cycle cycles) { busy_wait(cycles, Bucket::kCompute, "compute"); }
 
-  void cpu_relax() { compute(1); }
+  /// Backoff/poll iteration: same timing as compute(1), accounted as spin.
+  void cpu_relax() { busy_wait(1, Bucket::kSpin, "spin"); }
 
   /// Current placement of any thread (dynamic: threads may migrate).
   Tid core_of_thread(Tid t) const {
@@ -208,6 +225,22 @@ class SimCtx {
   }
 
  private:
+  /// Charges [start, end) on this core's cycle account (obs layer). Pure
+  /// bookkeeping: never advances simulated time.
+  void charge(Bucket b, Cycle start, Cycle end) {
+    m_.core(core_).account.charge(b, start, end);
+  }
+
+  /// Occupies the core for `cycles`, attributed to `bucket`.
+  void busy_wait(Cycle cycles, Bucket bucket, const char* name) {
+    if (cycles == 0) return;
+    fault_stall();
+    m_.tracer().event(core_, name, now(), cycles);
+    m_.core(core_).busy += cycles;
+    charge(bucket, now(), now() + cycles);
+    m_.sched().wait_for(cycles);
+  }
+
   /// Fault-injection hook at every operation boundary: while this core sits
   /// inside an injected preemption window, the fiber makes no progress (the
   /// thread is "descheduled"; Section 6's unlucky-scheduling scenario).
@@ -221,6 +254,7 @@ class SimCtx {
       c.preempt_stall += until - t;
       c.stall += until - t;
       ++c.preemptions;
+      charge(Bucket::kPreempted, t, until);
       m_.tracer().event(core_, "preempt", t, until - t);
       m_.sched().wait_until(until);
     }
@@ -248,6 +282,10 @@ class SimCtx {
     c.busy += p.issue_cost + busy_part;
     c.stall += lat - busy_part;
     c.load_stall += lat - busy_part;
+    const Cycle t = now();
+    charge(Bucket::kCompute, t, t + p.issue_cost + busy_part);
+    charge(Bucket::kCoherenceRead, t + p.issue_cost + busy_part,
+           t + p.issue_cost + lat);
     m_.sched().wait_for(p.issue_cost + lat);
   }
 
@@ -264,6 +302,7 @@ class SimCtx {
       m_.coherence().own_silently(core_, addr);
       m_.tracer().event(core_, "store-coalesced", now(), p.issue_cost);
       c.busy += p.issue_cost;
+      charge(Bucket::kCompute, now(), now() + p.issue_cost);
       m_.sched().wait_for(p.issue_cost);
       return;
     }
@@ -282,11 +321,17 @@ class SimCtx {
       c.wb_line = line;
       m_.tracer().event(core_, "store-posted", now(), p.issue_cost + wait);
       c.busy += p.issue_cost;
+      charge(Bucket::kCoherenceWrite, t, t + wait);  // buffer-full drain
+      charge(Bucket::kCompute, t + wait, t + wait + p.issue_cost);
       m_.sched().wait_for(p.issue_cost + wait);
     } else {
       const Cycle busy_part = ac.latency < p.l_hit ? ac.latency : p.l_hit;
       c.busy += p.issue_cost + busy_part;
       c.stall += ac.latency - busy_part;
+      const Cycle t = now();
+      charge(Bucket::kCompute, t, t + p.issue_cost + busy_part);
+      charge(Bucket::kCoherenceWrite, t + p.issue_cost + busy_part,
+             t + p.issue_cost + ac.latency);
       m_.sched().wait_for(p.issue_cost + ac.latency);
     }
   }
@@ -302,6 +347,9 @@ class SimCtx {
     c.busy += p.issue_cost;
     c.stall += ac.latency;
     c.atomic_stall += ac.latency;
+    const Cycle t = now();
+    charge(Bucket::kCompute, t, t + p.issue_cost);
+    charge(Bucket::kAtomic, t + p.issue_cost, t + p.issue_cost + ac.latency);
     m_.sched().wait_for(p.issue_cost + ac.latency);
   }
 

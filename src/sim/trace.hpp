@@ -1,16 +1,31 @@
 // Execution tracing: collects per-core timeline events from a simulation
-// and writes them as Chrome trace-event JSON (open chrome://tracing or
-// https://ui.perfetto.dev and load the file).
+// and writes them as Chrome trace-event JSON (open https://ui.perfetto.dev
+// or chrome://tracing and load the file).
 //
-// Disabled by default: the hot-path cost is one branch. Event volume is
-// bounded by `max_events` to keep traces loadable.
+// Three record kinds (docs/OBSERVABILITY.md):
+//   * duration events (ph "X"): what a core was doing over [start, start+dur)
+//   * flow events (ph "s"/"f"): one arrow per UDN message from the sending
+//     core to the delivering core, keyed by a monotonically assigned flow id
+//   * metadata (ph "M"): process/thread names, synthesized at write time
+//
+// Disabled by default: the hot-path cost is one branch, and recording never
+// advances simulated time, so enabling tracing cannot change timestamps
+// (tests assert this zero-observer-effect property).
+//
+// Event volume is bounded by `max_events` to keep traces loadable; events
+// past the cap are counted (dropped()) and reported in the JSON footer
+// instead of vanishing silently.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
+#include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/json.hpp"
 #include "sim/types.hpp"
 
 namespace hmps::sim {
@@ -26,43 +41,179 @@ class Tracer {
   void disable() { enabled_ = false; }
   bool enabled() const { return enabled_; }
 
+  /// Chrome-trace "pid" for subsequently recorded events, with a display
+  /// name. The harness gives every benchmark run its own pid so merged
+  /// trace files keep runs on separate tracks.
+  void set_process(std::uint32_t pid, std::string name) {
+    pid_ = pid;
+    set_process_name(pid, std::move(name));
+  }
+  std::uint32_t pid() const { return pid_; }
+
   /// Records a duration event on a core's timeline. `name` must point to a
   /// string with static storage duration (no copies are taken).
   void event(Tid core, const char* name, Cycle start, Cycle dur) {
-    if (!enabled_ || events_.size() >= max_) return;
-    events_.push_back(Event{name, start, dur, core});
+    if (!enabled_) return;
+    if (events_.size() >= max_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(Event{name, start, dur, 0, core, pid_, Phase::kComplete});
+  }
+
+  /// Allocates a fresh flow id (monotonic, unique within this tracer;
+  /// merge_from() remaps ids so merged tracers stay collision-free).
+  std::uint64_t next_flow_id() { return ++last_flow_id_; }
+
+  /// Flow start: the message leaves `core` at `ts`.
+  void flow_start(Tid core, const char* name, Cycle ts, std::uint64_t id) {
+    flow(core, name, ts, id, Phase::kFlowStart);
+  }
+  /// Flow end: the message is delivered at `core` at `ts`.
+  void flow_end(Tid core, const char* name, Cycle ts, std::uint64_t id) {
+    flow(core, name, ts, id, Phase::kFlowEnd);
   }
 
   std::size_t size() const { return events_.size(); }
-  void clear() { events_.clear(); }
+  /// Events discarded because the `max_events` cap was reached.
+  std::uint64_t dropped() const { return dropped_; }
+
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  /// Moves every event of `other` into this tracer, remapping `other`'s
+  /// flow ids past this tracer's so pairs stay matched and unique. `other`
+  /// is left cleared. Process names and the dropped count carry over.
+  void merge_from(Tracer& other) {
+    const std::uint64_t flow_base = last_flow_id_;
+    events_.reserve(events_.size() + other.events_.size());
+    for (Event e : other.events_) {
+      if (e.flow_id) e.flow_id += flow_base;
+      events_.push_back(e);
+    }
+    last_flow_id_ += other.last_flow_id_;
+    dropped_ += other.dropped_;
+    for (auto& [pid, name] : other.proc_names_) {
+      set_process_name(pid, std::move(name));
+    }
+    other.clear();
+    other.proc_names_.clear();
+  }
 
   /// Writes the Chrome trace-event JSON. Cycle timestamps are emitted as
-  /// microseconds 1:1 (so "1 us" in the viewer = 1 simulated cycle).
+  /// microseconds 1:1 (so "1 us" in the viewer = 1 simulated cycle). The
+  /// output is a JSON object: {"traceEvents": [...], "hmps": {footer}} —
+  /// valid even with zero events, with names escaped, and with a warning in
+  /// the footer when events were dropped.
+  void write_chrome_json(std::ostream& os) const {
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+      if (!first) os << ",";
+      first = false;
+      os << "\n";
+    };
+    // Metadata: name each (pid, core) track once, plus process names.
+    for (const auto& [pid, name] : proc_names_) {
+      sep();
+      os << R"({"name":"process_name","ph":"M","pid":)" << pid
+         << R"(,"tid":0,"args":{"name":")" << obs::json_escape(name) << "\"}}";
+    }
+    std::vector<std::uint64_t> tracks;
+    tracks.reserve(events_.size());
+    for (const Event& e : events_) {
+      tracks.push_back((static_cast<std::uint64_t>(e.pid) << 32) | e.core);
+    }
+    std::sort(tracks.begin(), tracks.end());
+    tracks.erase(std::unique(tracks.begin(), tracks.end()), tracks.end());
+    for (const std::uint64_t t : tracks) {
+      const std::uint32_t core = static_cast<std::uint32_t>(t);
+      sep();
+      os << R"({"name":"thread_name","ph":"M","pid":)" << (t >> 32)
+         << R"(,"tid":)" << core << R"(,"args":{"name":"core )" << core
+         << "\"}}";
+    }
+    for (const Event& e : events_) {
+      sep();
+      switch (e.phase) {
+        case Phase::kComplete:
+          os << R"({"name":")" << obs::json_escape(e.name)
+             << R"(","ph":"X","pid":)" << e.pid << R"(,"tid":)" << e.core
+             << R"(,"ts":)" << e.start << R"(,"dur":)"
+             << (e.dur == 0 ? 1 : e.dur) << "}";
+          break;
+        case Phase::kFlowStart:
+          os << R"({"name":")" << obs::json_escape(e.name)
+             << R"(","cat":"udn","ph":"s","id":)" << e.flow_id
+             << R"(,"pid":)" << e.pid << R"(,"tid":)" << e.core
+             << R"(,"ts":)" << e.start << "}";
+          break;
+        case Phase::kFlowEnd:
+          os << R"({"name":")" << obs::json_escape(e.name)
+             << R"(","cat":"udn","ph":"f","bp":"e","id":)" << e.flow_id
+             << R"(,"pid":)" << e.pid << R"(,"tid":)" << e.core
+             << R"(,"ts":)" << e.start << "}";
+          break;
+      }
+    }
+    if (!first) os << "\n";
+    os << "],\"hmps\":{\"events\":" << events_.size()
+       << ",\"dropped\":" << dropped_;
+    if (dropped_ > 0) {
+      os << ",\"warning\":\"" << dropped_
+         << " events dropped past the max_events cap; raise "
+            "Tracer::enable(max_events) for a complete trace\"";
+    }
+    os << "}}\n";
+  }
+
   void write_chrome_json(const std::string& path) const {
     std::ofstream f(path);
-    f << "[\n";
-    bool first = true;
-    for (const Event& e : events_) {
-      if (!first) f << ",\n";
-      first = false;
-      f << R"({"name":")" << e.name << R"(","ph":"X","pid":0,"tid":)"
-        << e.core << R"(,"ts":)" << e.start << R"(,"dur":)"
-        << (e.dur == 0 ? 1 : e.dur) << "}";
-    }
-    f << "\n]\n";
+    write_chrome_json(f);
   }
 
  private:
+  enum class Phase : std::uint8_t { kComplete, kFlowStart, kFlowEnd };
+
   struct Event {
     const char* name;
     Cycle start;
     Cycle dur;
+    std::uint64_t flow_id;
     Tid core;
+    std::uint32_t pid;
+    Phase phase;
   };
+
+  void flow(Tid core, const char* name, Cycle ts, std::uint64_t id,
+            Phase ph) {
+    if (!enabled_) return;
+    if (events_.size() >= max_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(Event{name, ts, 0, id, core, pid_, ph});
+  }
+
+  void set_process_name(std::uint32_t pid, std::string name) {
+    for (auto& [p, n] : proc_names_) {
+      if (p == pid) {
+        n = std::move(name);
+        return;
+      }
+    }
+    proc_names_.emplace_back(pid, std::move(name));
+  }
 
   bool enabled_ = false;
   std::size_t max_ = 0;
+  std::uint32_t pid_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t last_flow_id_ = 0;
   std::vector<Event> events_;
+  std::vector<std::pair<std::uint32_t, std::string>> proc_names_;
 };
 
 }  // namespace hmps::sim

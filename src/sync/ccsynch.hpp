@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "obs/span.hpp"
 #include "runtime/context.hpp"
 #include "sync/cs.hpp"
 
@@ -46,6 +47,7 @@ class CcSynch {
     const Tid tid = ctx.tid();
     check_tid(tid, kMaxThreads, "CcSynch::apply");
     SyncStats& st = stats_[tid].s;
+    obs::Span<Ctx> acquire(ctx, "cc.acquire");
     Node* next_node = my_[tid].node;
     ctx.store(&next_node->next, std::uint64_t{0});
     ctx.store(&next_node->wait, std::uint64_t{1});
@@ -58,12 +60,14 @@ class CcSynch {
     my_[tid].node = cur;  // node recycling: take over the predecessor node
 
     while (ctx.load(&cur->wait)) ctx.cpu_relax();
+    acquire.finish();
     ++st.ops;
     if (ctx.load(&cur->completed)) {
       return ctx.load(&cur->ret);  // a combiner executed it for us
     }
 
     // We are the combiner. Serve the list starting from our own request.
+    obs::Span<Ctx> combine(ctx, "cc.combine");
     ++st.tenures;
     Node* tmp = cur;
     std::uint32_t counter = 0;
@@ -77,6 +81,7 @@ class CcSynch {
       if (!fixed_ && counter >= max_ops_) break;
       ++counter;
       ctx.prefetch(next);  // overlap the next node fetch with this CS
+      obs::Span<Ctx> cs(ctx, "cc.cs");
       Fn f = rt::from_word<std::remove_pointer_t<Fn>>(ctx.load(&tmp->fn));
       const std::uint64_t a = ctx.load(&tmp->arg);
       ctx.store(&tmp->ret, f(ctx, obj_, a));

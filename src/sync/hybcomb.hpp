@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "obs/span.hpp"
 #include "runtime/context.hpp"
 #include "sync/cs.hpp"
 
@@ -109,6 +110,7 @@ class HybComb {
       // Line 11: try to register with the last registered combiner.
       if (ctx.faa(&last_reg->n_ops, 1) < max_ops_) {
         // Lines 12-14: success; send request, await response.
+        obs::Span<Ctx> req(ctx, "hyb.request");
         const Tid comb =
             static_cast<Tid>(ctx.load(&last_reg->thread_id));
         if (opts_.max_inflight) acquire_credit(ctx, last_reg, st);
@@ -144,6 +146,7 @@ class HybComb {
     }
 
     // ---- combiner section: lines 23-43, in mutual exclusion ----
+    obs::Span<Ctx> combine(ctx, "hyb.combine");
     ++st.tenures;
     const std::uint64_t retval = fn(ctx, obj_, arg);  // line 23
     ++st.ops;
@@ -249,6 +252,7 @@ class HybComb {
   void serve_one(Ctx& ctx, SyncStats& st) {
     std::uint64_t m[3];  // {sender_id, fptr, fargs} — lines 26/35
     ctx.receive(m, 3);
+    obs::Span<Ctx> cs(ctx, "hyb.cs");
     Fn f = rt::from_word<std::remove_pointer_t<Fn>>(m[1]);
     ctx.send(static_cast<Tid>(m[0]), {f(ctx, obj_, m[2])});  // lines 27/36
     ++st.served;

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "obs/span.hpp"
 #include "runtime/context.hpp"
 #include "sync/cs.hpp"
 
@@ -40,6 +41,7 @@ class MpServer {
   std::uint64_t apply(Ctx& ctx, Fn fn, std::uint64_t arg) {
     const Tid tid = ctx.tid();
     check_tid(tid, kMaxThreads, "MpServer::apply");
+    obs::Span<Ctx> span(ctx, "mp.request");
     if (max_inflight_ == 0) {
       ctx.send(server_, {tid, rt::to_word(fn), arg});
       return ctx.receive1();
@@ -60,6 +62,8 @@ class MpServer {
       std::uint64_t m[3];
       ctx.receive(m, 3);
       if (m[1] == kStopWord) return;
+      // CS + response phase on the server's critical path.
+      obs::Span<Ctx> cs(ctx, "mp.cs");
       Fn fn = rt::from_word<std::remove_pointer_t<Fn>>(m[1]);
       const std::uint64_t ret = fn(ctx, obj_, m[2]);
       ctx.send(static_cast<Tid>(m[0]), {ret});

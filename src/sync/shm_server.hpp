@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "obs/span.hpp"
 #include "runtime/context.hpp"
 #include "sync/cs.hpp"
 
@@ -45,6 +46,7 @@ class ShmServer {
 
   std::uint64_t apply(Ctx& ctx, Fn fn, std::uint64_t arg) {
     check_tid(ctx.tid(), nchan_, "ShmServer::apply");
+    obs::Span<Ctx> span(ctx, "shm.request");
     Channel& ch = chans_[ctx.tid()];
     const std::uint64_t seq = ++my_seq_[ctx.tid()].v;
     ctx.store(&ch.arg, arg);
@@ -73,6 +75,8 @@ class ShmServer {
           ctx.store(&ch.resp_seq, req);  // ack so the stopper can proceed
           return;
         }
+        // CS + response phase: the two server-side RMRs of Fig. 1 land here.
+        obs::Span<Ctx> cs(ctx, "shm.cs");
         Fn fn = rt::from_word<std::remove_pointer_t<Fn>>(fnw);
         const std::uint64_t arg = ctx.load(&ch.arg);
         const std::uint64_t ret = fn(ctx, obj_, arg);
