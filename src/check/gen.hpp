@@ -1,0 +1,84 @@
+// Random machine/workload generation for correctness fuzzing, shared by the
+// schedule-exploration harness (src/check/explore.cpp) and the parameter
+// fuzz tests (tests/test_fuzz_params.cpp).
+//
+// The synchronization algorithms must stay correct on ANY sane machine —
+// random mesh shapes, latencies, occupancies, buffer sizes, feature flags —
+// because correctness may never depend on timing. random_machine() derives
+// such a machine deterministically from a seed; clamp_cfg() applies the two
+// configuration rules a *valid* workload must respect (documented in
+// docs/ROBUSTNESS.md and exercised by tests/test_sec6_practical.cpp):
+//
+//  1. server approaches keep the server's core uniprogrammed — a client
+//     sharing it can deadlock the response send under a full buffer;
+//  2. combiners with oversubscribed cores need the per-core UDN buffer
+//     sized for one request per client plus responses (3*clients + 8).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "arch/params.hpp"
+#include "harness/record.hpp"
+#include "sim/rng.hpp"
+
+namespace hmps::check {
+
+/// Pseudo-random but sane MachineParams, fully determined by `seed`.
+inline arch::MachineParams random_machine(std::uint64_t seed) {
+  sim::Xoshiro256 r(seed);
+  arch::MachineParams p;
+  p.name = "fuzz-" + std::to_string(seed);
+  p.mesh_w = static_cast<std::uint32_t>(r.between(2, 8));
+  p.mesh_h = static_cast<std::uint32_t>(r.between(1, 8));
+  p.n_mem_ctrls = static_cast<std::uint32_t>(r.between(1, 4));
+  p.l_hit = r.between(1, 4);
+  p.hop = r.between(1, 4);
+  p.router = r.between(1, 4);
+  p.dir_lookup = r.between(2, 20);
+  p.home_mem = r.between(2, 20);
+  p.fwd_cost = r.between(1, 10);
+  p.xfer = r.between(1, 10);
+  p.inval_base = r.between(1, 6);
+  p.inval_per_sharer = r.between(0, 4);
+  p.line_occupancy = r.between(1, 16);
+  p.ctrl_op_faa = r.between(2, 20);
+  p.ctrl_op_cas = r.between(2, 80);
+  p.ctrl_op_cas_fail = r.between(1, 20);
+  p.udn_buf_words = static_cast<std::uint32_t>(r.between(8, 200));
+  p.udn_inject = r.between(1, 4);
+  p.udn_per_word_wire = r.between(1, 3);
+  p.udn_recv_word = r.between(1, 4);
+  p.fence_cost = r.between(1, 30);
+  p.posted_writes = r.below(2) == 0;
+  p.allow_prefetch = r.below(2) == 0;
+  p.atomics_at_ctrl = r.below(4) != 0;  // mostly TILE-style
+  p.model_link_contention = r.below(2) == 0;
+  return p;
+}
+
+/// Makes `cfg` a valid workload for its machine: clamps client counts and
+/// buffer sizes per the Section 6 configuration rules above. Idempotent.
+inline void clamp_cfg(harness::RecordCfg& cfg) {
+  const std::uint32_t cores = cfg.params.cores();
+  if (cfg.threads < 2) cfg.threads = 2;
+  const bool server = harness::uses_server(cfg.construction) &&
+                      cfg.object != harness::Object::kLcrq &&
+                      cfg.object != harness::Object::kElimStack;
+  if (server) {
+    cfg.threads =
+        std::min<std::uint32_t>(cfg.threads, cores > 2 ? cores - 1 : 2);
+  }
+  const std::uint32_t total = cfg.threads + (server ? 1 : 0);
+  if (total > cores || server) {
+    // Oversubscribed cores share one hardware buffer between up to 3 demux
+    // queues; size it for one request per client plus responses.
+    cfg.params.udn_buf_words = std::max<std::uint32_t>(
+        cfg.params.udn_buf_words, 3 * cfg.threads + 8);
+  }
+  // The fixed per-thread pools cap every construction at 64 threads.
+  cfg.threads = std::min<std::uint32_t>(cfg.threads, 63);
+}
+
+}  // namespace hmps::check

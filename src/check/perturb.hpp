@@ -1,0 +1,107 @@
+// PCT-style schedule perturbation (Burckhardt et al., "A Randomized
+// Scheduler with Probabilistic Guarantees of Finding Bugs", ASPLOS'10),
+// adapted to the discrete-event simulator.
+//
+// Classic PCT runs threads by random priority and lowers the priority of
+// the running thread at d-1 random change points. In an asynchronous-timing
+// simulation the equivalent lever is *delay*: postponing a fiber's resume
+// is indistinguishable from the OS descheduling it, and is always a legal
+// execution of the modeled machine. PctPerturber therefore:
+//
+//  * assigns each fiber a random priority rank and, at `change_points`
+//    evenly spaced simulated times, reshuffles the ranks (the change
+//    points);
+//  * scales random resume delays by the fiber's rank (lower priority =
+//    longer delays), probability `resume_permille`;
+//  * at named sync-layer yield points (sync::explore_point call sites:
+//    publish/close/handoff windows), injects targeted stalls of up to
+//    `point_delay_max` cycles with probability `point_permille`.
+//
+// Everything is drawn from one xoshiro stream seeded by the plan, and the
+// simulation consults the perturber at deterministic points, so a plan
+// replays bit-identically (the property hmps-repro-v1 relies on).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sim/perturb.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace hmps::check {
+
+/// Declarative perturbation schedule; serialized in hmps-repro-v1.
+struct PerturbPlan {
+  std::uint64_t seed = 1;
+  std::uint32_t nthreads = 0;        ///< fibers to rank (0 disables ranking)
+  std::uint32_t change_points = 0;   ///< PCT priority reshuffles
+  sim::Cycle change_interval = 0;    ///< simulated time between reshuffles
+  std::uint32_t resume_permille = 0; ///< P(rank-scaled delay per resume)
+  sim::Cycle delay_unit = 0;         ///< base resume-delay quantum
+  std::uint32_t point_permille = 0;  ///< P(stall per sync-layer yield point)
+  sim::Cycle point_delay_max = 0;    ///< max targeted-preemption stall
+
+  bool enabled() const {
+    return (resume_permille > 0 && delay_unit > 0) ||
+           (point_permille > 0 && point_delay_max > 0);
+  }
+};
+
+class PctPerturber final : public sim::Perturber {
+ public:
+  explicit PctPerturber(const PerturbPlan& plan)
+      : plan_(plan), rng_(plan.seed ^ 0x50435421ULL /* "PCT!" */) {
+    rank_.resize(plan_.nthreads);
+    std::iota(rank_.begin(), rank_.end(), 0u);
+    shuffle_ranks();
+  }
+
+  sim::Cycle resume_delay(std::uint32_t fiber, sim::Cycle t) override {
+    maybe_reshuffle(t);
+    ++decisions_;
+    if (plan_.resume_permille == 0 || plan_.delay_unit == 0) return 0;
+    if (rng_.below(1000) >= plan_.resume_permille) return 0;
+    const std::uint64_t rank =
+        rank_.empty() ? 0 : rank_[fiber % rank_.size()];
+    return plan_.delay_unit * (1 + rank);
+  }
+
+  sim::Cycle point_delay(std::uint32_t /*tid*/, std::uint32_t /*core*/,
+                         const char* /*where*/, sim::Cycle now) override {
+    maybe_reshuffle(now);
+    ++decisions_;
+    if (plan_.point_permille == 0 || plan_.point_delay_max == 0) return 0;
+    if (rng_.below(1000) >= plan_.point_permille) return 0;
+    return rng_.between(1, plan_.point_delay_max);
+  }
+
+  /// Scheduling decisions consulted so far (observability for explore()).
+  std::uint64_t decisions() const { return decisions_; }
+
+ private:
+  void shuffle_ranks() {
+    for (std::size_t i = rank_.size(); i > 1; --i) {
+      std::swap(rank_[i - 1], rank_[rng_.below(i)]);
+    }
+  }
+
+  void maybe_reshuffle(sim::Cycle t) {
+    while (shuffles_done_ < plan_.change_points &&
+           plan_.change_interval > 0 &&
+           t >= static_cast<sim::Cycle>(shuffles_done_ + 1) *
+                    plan_.change_interval) {
+      ++shuffles_done_;
+      shuffle_ranks();
+    }
+  }
+
+  PerturbPlan plan_;
+  sim::Xoshiro256 rng_;
+  std::vector<std::uint32_t> rank_;  ///< fiber -> priority (0 = highest)
+  std::uint32_t shuffles_done_ = 0;
+  std::uint64_t decisions_ = 0;
+};
+
+}  // namespace hmps::check

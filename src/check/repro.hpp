@@ -1,0 +1,37 @@
+// hmps-repro-v1: the replayable failure format emitted by the schedule-
+// exploration harness (docs/TESTING.md).
+//
+// A repro file is a single JSON object holding everything a run depends on
+// — MachineParams, workload shape, fault plan, perturbation plan, seeds —
+// so `check_explore --replay file.json` re-executes the failing schedule
+// byte-identically on any build of the simulator. The `violation` block is
+// informational: replay recomputes it and compares.
+#pragma once
+
+#include <string>
+
+#include "check/explore.hpp"
+
+namespace hmps::check {
+
+inline constexpr const char* kReproFormat = "hmps-repro-v1";
+
+/// Serializes scenario + observed violation as hmps-repro-v1 JSON text.
+std::string repro_to_json(const Scenario& s, const Violation& v);
+
+/// Parses hmps-repro-v1 text. Returns false and fills `err` on malformed
+/// input or an unknown format tag. Unknown machine fields are rejected
+/// (a repro must describe the machine exactly); `expect` receives the
+/// violation block recorded at capture time (may be empty).
+bool repro_from_json(const std::string& text, Scenario* out,
+                     Violation* expect, std::string* err);
+
+/// Writes repro JSON to `path`; returns false on I/O error.
+bool write_repro_file(const std::string& path, const Scenario& s,
+                      const Violation& v, std::string* err);
+
+/// Reads and parses a repro file.
+bool read_repro_file(const std::string& path, Scenario* out,
+                     Violation* expect, std::string* err);
+
+}  // namespace hmps::check

@@ -109,6 +109,33 @@ CheckResult check_queue_fast(const std::vector<OpRecord>& history) {
   return r;
 }
 
+CheckResult check_stack_fast(const std::vector<OpRecord>& history) {
+  std::unordered_map<std::uint64_t, const OpRecord*> pushes, pops;
+  for (const auto& op : history) {
+    if (op.kind == OpKind::kPush) {
+      if (!pushes.emplace(op.arg, &op).second) {
+        return {false, "duplicate push of value " + std::to_string(op.arg) +
+                           " (values must be unique for this checker)"};
+      }
+    } else if (op.kind == OpKind::kPop && op.ret != kNothing) {
+      if (!pops.emplace(op.ret, &op).second) {
+        return {false, "value popped twice: " + describe(op)};
+      }
+    }
+  }
+  for (const auto& [v, p] : pops) {
+    auto it = pushes.find(v);
+    if (it == pushes.end()) {
+      return {false, "popped a value never pushed: " + describe(*p)};
+    }
+    if (p->response <= it->second->invoke) {
+      return {false, "pop completed before its push began: " + describe(*p) +
+                         " vs " + describe(*it->second)};
+    }
+  }
+  return {};
+}
+
 CheckResult check_counter_fast(const std::vector<OpRecord>& history) {
   std::vector<const OpRecord*> incs;
   for (const auto& op : history) {
@@ -144,7 +171,7 @@ CheckResult check_counter_fast(const std::vector<OpRecord>& history) {
 }
 
 CheckResult linearizable(const std::vector<OpRecord>& history,
-                         const SeqSpec& spec) {
+                         const SeqSpec& spec, std::uint64_t max_nodes) {
   const std::size_t n = history.size();
   if (n == 0) return {};
   if (n > 63) {
@@ -155,9 +182,16 @@ CheckResult linearizable(const std::vector<OpRecord>& history,
   std::unordered_set<std::uint64_t> failed;
   std::vector<std::uint64_t> state;
   std::vector<std::size_t> order;  // for error reporting
+  std::uint64_t nodes = 0;
+  bool exhausted = false;
 
   std::function<bool(std::uint64_t)> dfs = [&](std::uint64_t mask) -> bool {
     if (mask == (std::uint64_t{1} << n) - 1) return true;
+    if (max_nodes > 0 && ++nodes > max_nodes) {
+      exhausted = true;
+      return false;
+    }
+    if (exhausted) return false;
     std::uint64_t key = mask;
     for (std::uint64_t v : state) key = mix(key, v);
     if (failed.count(key)) return false;
@@ -187,6 +221,13 @@ CheckResult linearizable(const std::vector<OpRecord>& history,
   };
 
   if (dfs(0)) return {};
+  if (exhausted) {
+    CheckResult r;
+    r.reason = "complete search exceeded " + std::to_string(max_nodes) +
+               " nodes (inconclusive)";
+    r.inconclusive = true;
+    return r;
+  }
   return {false, "no linearization exists for this history of " +
                      std::to_string(n) + " ops"};
 }

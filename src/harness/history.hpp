@@ -74,6 +74,10 @@ SeqSpec counter_spec();
 struct CheckResult {
   bool ok = true;
   std::string reason;
+  /// Set when a bounded complete search ran out of budget before either
+  /// finding a linearization or exhausting the orders: ok is true but the
+  /// history was not fully validated.
+  bool inconclusive = false;
 };
 
 /// Fast, sound FIFO-queue checks on a (possibly large) history:
@@ -90,10 +94,18 @@ CheckResult check_queue_fast(const std::vector<OpRecord>& history);
 /// linearized.
 CheckResult check_counter_fast(const std::vector<OpRecord>& history);
 
+/// Fast, sound stack checks (value conservation + causality): every popped
+/// value was pushed exactly once and popped at most once, and a pop cannot
+/// respond before its push was invoked. LIFO-order violations need the
+/// complete checker (small windows).
+CheckResult check_stack_fast(const std::vector<OpRecord>& history);
+
 /// Complete linearizability check against `spec` (Wing & Gong with
 /// memoization). History sizes beyond ~20 concurrent ops get slow; use for
-/// property tests on small windows.
+/// property tests on small windows. `max_nodes` bounds the DFS (0 =
+/// unlimited); an exhausted budget returns ok with `inconclusive` set
+/// rather than guessing either way.
 CheckResult linearizable(const std::vector<OpRecord>& history,
-                         const SeqSpec& spec);
+                         const SeqSpec& spec, std::uint64_t max_nodes = 0);
 
 }  // namespace hmps::harness

@@ -1,0 +1,247 @@
+#include "harness/record.hpp"
+
+#include <algorithm>
+
+#include "ds/counter.hpp"
+#include "ds/elim_stack.hpp"
+#include "ds/lcrq.hpp"
+#include "ds/queue.hpp"
+#include "ds/stack.hpp"
+#include "runtime/sim_context.hpp"
+#include "runtime/sim_executor.hpp"
+#include "sim/perturb.hpp"
+#include "sync/ccsynch.hpp"
+#include "sync/dsm_synch.hpp"
+#include "sync/flat_combining.hpp"
+#include "sync/hsynch.hpp"
+#include "sync/hybcomb.hpp"
+#include "sync/locks.hpp"
+#include "sync/mp_server.hpp"
+#include "sync/oyama.hpp"
+#include "sync/shm_server.hpp"
+
+namespace hmps::harness {
+
+namespace {
+
+using rt::SimCtx;
+using rt::SimExecutor;
+
+constexpr const char* kConstructionNames[kNumConstructions] = {
+    "mp_server", "hybcomb", "shm_server", "ccsynch", "dsm_synch",
+    "flat_combining", "hsynch", "oyama", "mcs_lock"};
+
+constexpr const char* kObjectNames[kNumObjects] = {
+    "counter", "queue", "stack", "lcrq", "elim_stack"};
+
+/// MCS lock as a degenerate universal construction: lock, run the CS
+/// inline, unlock (the Section 3 baseline shape).
+struct McsUc {
+  sync::McsLock<SimCtx> lock;
+  void* obj;
+  std::uint64_t apply(SimCtx& ctx, sync::CsFn<SimCtx> fn, std::uint64_t arg) {
+    lock.lock(ctx);
+    const std::uint64_t r = fn(ctx, obj, arg);
+    lock.unlock(ctx);
+    return r;
+  }
+};
+
+}  // namespace
+
+const char* to_string(Construction c) {
+  return kConstructionNames[static_cast<std::uint8_t>(c)];
+}
+
+const char* to_string(Object o) {
+  return kObjectNames[static_cast<std::uint8_t>(o)];
+}
+
+bool construction_from_string(std::string_view s, Construction* out) {
+  for (std::uint32_t i = 0; i < kNumConstructions; ++i) {
+    if (s == kConstructionNames[i]) {
+      *out = static_cast<Construction>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool object_from_string(std::string_view s, Object* out) {
+  for (std::uint32_t i = 0; i < kNumObjects; ++i) {
+    if (s == kObjectNames[i]) {
+      *out = static_cast<Object>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool uses_server(Construction c) {
+  return c == Construction::kMpServer || c == Construction::kShmServer;
+}
+
+RecordResult record_history(const RecordCfg& cfg, sim::Perturber* perturber) {
+  SimExecutor ex(cfg.params, cfg.seed);
+  if (cfg.faults.enabled()) ex.machine().install_faults(cfg.faults);
+  if (perturber != nullptr) ex.sched().set_perturber(perturber);
+
+  // The objects. Constructed up front regardless of which one runs (cheap,
+  // and it keeps this function free of dynamic dispatch gymnastics).
+  ds::SeqCounter counter;
+  ds::SeqQueue queue(8192);
+  ds::SeqStack stack(8192);
+  ds::Lcrq<SimCtx> lcrq(5, 4096);
+  ds::ElimStack<SimCtx> elim(256, 8, 64);
+
+  void* obj = nullptr;
+  switch (cfg.object) {
+    case Object::kCounter: obj = &counter; break;
+    case Object::kQueue: obj = &queue; break;
+    case Object::kStack: obj = &stack; break;
+    case Object::kLcrq:
+    case Object::kElimStack: break;  // concurrent structures, no CS object
+  }
+
+  // The constructions (the server approaches use tid 0 as the server).
+  sync::HybComb<SimCtx>::Options hopts;
+  hopts.bug_drop_every = cfg.hyb_bug_drop_every;
+  const std::uint32_t mo32 =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(cfg.max_ops, 1u << 30));
+  sync::MpServer<SimCtx> mp(0, obj);
+  sync::ShmServer<SimCtx> shm(0, obj);
+  sync::HybComb<SimCtx> hyb(obj, cfg.max_ops, /*fixed_combiner=*/false, hopts);
+  sync::CcSynch<SimCtx> cc(obj, mo32);
+  sync::DsmSynch<SimCtx> dsm(obj, mo32);
+  sync::FlatCombining<SimCtx> fc(obj, sync::FlatCombining<SimCtx>::kMaxThreads,
+                                 std::max<std::uint32_t>(1, mo32 / 2));
+  sync::HSynch<SimCtx> hs(obj, mo32);
+  sync::OyamaComb<SimCtx> oy(obj);
+  McsUc mcs{{}, obj};
+
+  auto apply = [&](SimCtx& ctx, sync::CsFn<SimCtx> fn,
+                   std::uint64_t arg) -> std::uint64_t {
+    switch (cfg.construction) {
+      case Construction::kMpServer: return mp.apply(ctx, fn, arg);
+      case Construction::kHybComb: return hyb.apply(ctx, fn, arg);
+      case Construction::kShmServer: return shm.apply(ctx, fn, arg);
+      case Construction::kCcSynch: return cc.apply(ctx, fn, arg);
+      case Construction::kDsmSynch: return dsm.apply(ctx, fn, arg);
+      case Construction::kFlatCombining: return fc.apply(ctx, fn, arg);
+      case Construction::kHSynch: return hs.apply(ctx, fn, arg);
+      case Construction::kOyama: return oy.apply(ctx, fn, arg);
+      case Construction::kMcsLock: return mcs.apply(ctx, fn, arg);
+    }
+    return 0;
+  };
+
+  const bool direct =
+      cfg.object == Object::kLcrq || cfg.object == Object::kElimStack;
+  const bool server = !direct && uses_server(cfg.construction);
+
+  RecordResult res;
+  res.total_client_threads = cfg.threads;
+  HistoryRecorder rec;
+
+  if (server) {
+    ex.add_thread([&](SimCtx& ctx) {
+      if (cfg.construction == Construction::kMpServer) {
+        mp.serve(ctx);
+      } else {
+        shm.serve(ctx);
+      }
+    });
+  }
+
+  for (std::uint32_t i = 0; i < cfg.threads; ++i) {
+    ex.add_thread([&, i](SimCtx& ctx) {
+      for (std::uint32_t k = 0; k < cfg.ops_each; ++k) {
+        OpRecord r;
+        r.thread = i;
+        r.invoke = ctx.now();
+        const bool produce =
+            ctx.rand_below(1000) < cfg.produce_permille;
+        switch (cfg.object) {
+          case Object::kCounter:
+            r.kind = OpKind::kInc;
+            r.ret = apply(ctx, ds::counter_inc<SimCtx>, 0);
+            break;
+          case Object::kQueue:
+            if (produce) {
+              r.kind = OpKind::kEnq;
+              r.arg = (static_cast<std::uint64_t>(i) << 32) | k;
+              r.ret = 0;
+              apply(ctx, ds::q_enqueue<SimCtx>, r.arg);
+            } else {
+              r.kind = OpKind::kDeq;
+              r.ret = apply(ctx, ds::q_dequeue<SimCtx>, 0);
+              if (r.ret == ds::kQEmpty) r.ret = kNothing;
+            }
+            break;
+          case Object::kStack:
+            if (produce) {
+              r.kind = OpKind::kPush;
+              r.arg = (static_cast<std::uint64_t>(i) << 32) | k;
+              r.ret = 0;
+              apply(ctx, ds::s_push<SimCtx>, r.arg);
+            } else {
+              r.kind = OpKind::kPop;
+              r.ret = apply(ctx, ds::s_pop<SimCtx>, 0);
+              if (r.ret == ds::kStackEmpty) r.ret = kNothing;
+            }
+            break;
+          case Object::kLcrq:
+            if (produce) {
+              r.kind = OpKind::kEnq;
+              r.arg = ((static_cast<std::uint64_t>(i) & 0x7FFF) << 16) | k;
+              r.ret = 0;
+              lcrq.enqueue(ctx, static_cast<std::uint32_t>(r.arg));
+            } else {
+              r.kind = OpKind::kDeq;
+              const std::uint32_t v = lcrq.dequeue(ctx);
+              r.ret = v == ds::kLcrqEmpty ? kNothing : v;
+            }
+            break;
+          case Object::kElimStack:
+            if (produce) {
+              r.kind = OpKind::kPush;
+              r.arg = ((static_cast<std::uint64_t>(i) & 0x7FFF) << 16) | k;
+              r.ret = 0;
+              elim.push(ctx, static_cast<std::uint32_t>(r.arg));
+            } else {
+              r.kind = OpKind::kPop;
+              r.ret = elim.pop(ctx);
+              if (r.ret == ds::kStackEmpty) r.ret = kNothing;
+            }
+            break;
+        }
+        r.response = ctx.now();
+        rec.record(r);
+        if (cfg.think_max > 0) {
+          ctx.compute(ctx.rand_below(
+              static_cast<std::uint32_t>(cfg.think_max) + 1));
+        }
+      }
+      ++res.finished_threads;
+      if (res.finished_threads == cfg.threads && server) {
+        if (cfg.construction == Construction::kMpServer) {
+          mp.request_stop(ctx);
+        } else {
+          shm.request_stop(ctx);
+        }
+      }
+    });
+  }
+
+  ex.run_until(cfg.horizon);
+  // Detach the perturber before teardown so no stale pointer survives the
+  // scenario (the executor dies with this frame anyway; belt and braces).
+  if (perturber != nullptr) ex.sched().set_perturber(nullptr);
+
+  res.completed = res.finished_threads == cfg.threads;
+  res.end_time = ex.sched().now();
+  res.history = rec.ops();
+  return res;
+}
+
+}  // namespace hmps::harness

@@ -200,6 +200,24 @@ class SimCtx {
   /// Backoff/poll iteration: same timing as compute(1), accounted as spin.
   void cpu_relax() { busy_wait(1, Bucket::kSpin, "spin"); }
 
+  /// Exploration yield point (sync-layer span boundaries, see
+  /// sim/perturb.hpp): with a perturber installed the thread may be stalled
+  /// here as if descheduled, accounted like an injected preemption. A
+  /// single predicted branch when no perturber is active.
+  void explore_point(const char* where) {
+    sim::Perturber* p = m_.sched().perturber();
+    if (p == nullptr) [[likely]] return;
+    const Cycle d = p->point_delay(tid_, core_, where, now());
+    if (d > 0) {
+      auto& c = m_.core(core_);
+      c.stall += d;
+      c.preempt_stall += d;
+      charge(Bucket::kPreempted, now(), now() + d);
+      m_.tracer().event(core_, "explore-preempt", now(), d);
+      m_.sched().wait_for(d);
+    }
+  }
+
   /// Current placement of any thread (dynamic: threads may migrate).
   Tid core_of_thread(Tid t) const {
     assert(t < placements_->size() && "message to unregistered thread id");

@@ -1,0 +1,47 @@
+// Schedule-perturbation hook for the discrete-event engine.
+//
+// The simulator is deterministic: one seed produces exactly one interleaving
+// of the fibers. That is ideal for reproducibility and terrible for bug
+// hunting — a synchronization bug that needs a particular adversarial
+// interleaving may never occur in the schedules the timing model happens to
+// produce. A Perturber gives a controller two levers to steer the schedule
+// without touching any model state:
+//
+//  * resume_delay(): consulted every time a fiber resume is scheduled (the
+//    engine's elementary scheduling decision). Returning a positive delta
+//    postpones that fiber, which is indistinguishable from the thread
+//    being descheduled by an OS — exactly the freedom a real machine has.
+//  * point_delay(): consulted at the *named* yield points the sync layer
+//    exposes at its span boundaries (sync::explore_point), for targeted
+//    preemption inside known-critical windows.
+//
+// With no perturber installed (the default) both hooks cost a single
+// predicted-not-taken branch and the event order is byte-identical to a
+// build without this header — the golden-trace tests pin that down. The
+// PCT-style implementation lives in src/check/perturb.hpp; this interface
+// stays in sim so the engine depends on nothing above it.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace hmps::sim {
+
+class Perturber {
+ public:
+  virtual ~Perturber() = default;
+
+  /// Extra cycles to postpone the resume of `fiber` scheduled for absolute
+  /// time `t`. Fiber ids equal spawn order (== thread ids under
+  /// rt::SimExecutor). Must be deterministic in the perturber's own state.
+  virtual Cycle resume_delay(std::uint32_t fiber, Cycle t) = 0;
+
+  /// Extra cycles to stall the calling thread at the named sync-layer yield
+  /// point `where` (static string). `tid`/`core` identify the thread and
+  /// its current core; `now` is the simulated time of the visit.
+  virtual Cycle point_delay(std::uint32_t tid, std::uint32_t core,
+                            const char* where, Cycle now) = 0;
+};
+
+}  // namespace hmps::sim

@@ -11,6 +11,9 @@ Scheduler::FiberId Scheduler::spawn(std::function<void()> fn, Cycle start,
 }
 
 void Scheduler::schedule_resume(FiberId id, Cycle t) {
+  if (perturber_ != nullptr) [[unlikely]] {
+    t += perturber_->resume_delay(id, t);
+  }
   queue_.schedule(t, [this, id] {
     Fiber& f = *fibers_[id];
     if (f.finished()) return;

@@ -12,6 +12,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/fiber.hpp"
+#include "sim/perturb.hpp"
 #include "sim/types.hpp"
 
 namespace hmps::sim {
@@ -54,6 +55,13 @@ class Scheduler {
   /// Pre-sizes the event pool (see EventQueue::reserve).
   void reserve_events(std::size_t n) { queue_.reserve(n); }
 
+  /// Installs (or removes, with nullptr) a schedule perturber. Every fiber
+  /// resume scheduled afterwards is offered to it; nothing else in the
+  /// engine changes, so a null perturber keeps event order byte-identical
+  /// to a build without the hook.
+  void set_perturber(Perturber* p) { perturber_ = p; }
+  Perturber* perturber() const { return perturber_; }
+
   // ---- Fiber-side API (must be called from inside a running fiber) ----
 
   /// Blocks the current fiber until absolute time t.
@@ -90,6 +98,7 @@ class Scheduler {
   Cycle now_ = 0;
   FiberId current_ = kNoFiber;
   bool stop_requested_ = false;
+  Perturber* perturber_ = nullptr;
 };
 
 }  // namespace hmps::sim

@@ -53,6 +53,7 @@ class CcSynch {
     ctx.store(&next_node->wait, std::uint64_t{1});
     ctx.store(&next_node->completed, std::uint64_t{0});
 
+    explore_point(ctx, "cc.enqueue");
     Node* cur = rt::from_word<Node>(ctx.exchange(&tail_, rt::to_word(next_node)));
     ctx.store(&cur->fn, rt::to_word(fn));
     ctx.store(&cur->arg, arg);
@@ -91,6 +92,7 @@ class CcSynch {
       ++st.served;
     }
     // Hand the combiner role to the next waiting thread (completed stays 0).
+    explore_point(ctx, "cc.handoff");
     ctx.store(&tmp->wait, std::uint64_t{0});
     return ctx.load(&cur->ret);
   }

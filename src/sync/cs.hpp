@@ -65,6 +65,19 @@ struct SyncStats {
   }
 };
 
+/// Exploration yield point at a named sync-layer boundary (`where` must
+/// have static storage duration). Compiles to nothing for contexts without
+/// schedule exploration (NativeCtx); for SimCtx it is one predicted branch
+/// unless a sim::Perturber is installed, which may stall the thread here as
+/// if it were descheduled — the targeted-preemption lever of the
+/// src/check schedule-exploration harness (docs/TESTING.md).
+template <class Ctx>
+inline void explore_point(Ctx& ctx, const char* where) {
+  if constexpr (requires { ctx.explore_point(where); }) {
+    ctx.explore_point(where);
+  }
+}
+
 /// Hard capacity check for the fixed per-thread pools every construction
 /// keeps (nodes, channels, stats). A run configured with more threads than
 /// kMaxThreads used to index silently past those arrays; now it dies with a

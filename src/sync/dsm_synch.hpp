@@ -42,6 +42,7 @@ class DsmSynch {
     ctx.store(&node->fn, rt::to_word(fn));
     ctx.store(&node->arg, arg);
 
+    explore_point(ctx, "dsm.enqueue");
     Node* pred = rt::from_word<Node>(ctx.exchange(&tail_, rt::to_word(node)));
     if (pred != nullptr) {
       ctx.store(&pred->next, rt::to_word(node));
@@ -72,6 +73,7 @@ class DsmSynch {
     }
 
     // Termination: detach or hand the combiner role over.
+    explore_point(ctx, "dsm.terminate");
     if (ctx.load(&tmp->next) == 0) {
       ++st.cas_attempts;
       if (ctx.cas(&tail_, rt::to_word(tmp), std::uint64_t{0})) {

@@ -40,6 +40,7 @@ class FlatCombining {
     const std::uint64_t seq = ++my_seq_[tid].v;
     ctx.store(&my.arg, arg);
     ctx.store(&my.fn, rt::to_word(fn));
+    explore_point(ctx, "fc.publish");
     ctx.store(&my.req_seq, seq);  // publish
 
     for (;;) {
@@ -67,6 +68,7 @@ class FlatCombining {
           }
           if (!found) break;
         }
+        explore_point(ctx, "fc.release");
         ctx.store(&lock_, std::uint64_t{0});
         // Our own record was served during the pass.
         ++st.ops;

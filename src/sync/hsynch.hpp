@@ -55,6 +55,7 @@ class HSynch {
     ctx.store(&next_node->wait, std::uint64_t{1});
     ctx.store(&next_node->completed, std::uint64_t{0});
 
+    explore_point(ctx, "hs.enqueue");
     Node* cur = rt::from_word<Node>(ctx.exchange(tail, rt::to_word(next_node)));
     ctx.store(&cur->fn, rt::to_word(fn));
     ctx.store(&cur->arg, arg);
@@ -67,6 +68,7 @@ class HSynch {
 
     // Cluster combiner: serialize with the other clusters' combiners.
     ++st.tenures;
+    explore_point(ctx, "hs.global_lock");
     global_.lock(ctx);
     Node* tmp = cur;
     std::uint32_t counter = 0;

@@ -66,6 +66,13 @@ class HybComb {
     /// cross-generation deadlock. 0 disables (the paper's unbounded
     /// behavior).
     std::uint64_t max_inflight = 0;
+    /// TEST-ONLY seeded defect for the src/check schedule-exploration
+    /// harness (docs/TESTING.md): the combiner drops the CS execution of
+    /// every Nth message-served request — it consumes the request but
+    /// replies with the previous retval without running fn, a lost update
+    /// that only manifests under combining. 0 (the default) disables it;
+    /// never set outside exploration selftests.
+    std::uint64_t bug_drop_every = 0;
   };
 
   /// `max_ops` is MAX_OPS of Algorithm 1. `fixed_combiner` reproduces the
@@ -106,6 +113,7 @@ class HybComb {
     Node* last_reg;
 
     for (;;) {  // line 8
+      explore_point(ctx, "hyb.register");
       last_reg = rt::from_word<Node>(ctx.load(&lrc_));  // line 9
       // Line 11: try to register with the last registered combiner.
       if (ctx.faa(&last_reg->n_ops, 1) < max_ops_) {
@@ -114,6 +122,7 @@ class HybComb {
         const Tid comb =
             static_cast<Tid>(ctx.load(&last_reg->thread_id));
         if (opts_.max_inflight) acquire_credit(ctx, last_reg, st);
+        explore_point(ctx, "hyb.pre_send");
         ctx.send(comb, {tid, rt::to_word(fn), arg});
         ++st.ops;
         const std::uint64_t ret = ctx.receive1();
@@ -167,6 +176,7 @@ class HybComb {
     }
 
     // Line 30: close combining for new requests.
+    explore_point(ctx, "hyb.close");
     std::uint64_t total_ops = ctx.exchange(&my_node->n_ops, max_ops_);
     if (total_ops > max_ops_) total_ops = max_ops_;  // lines 31-32
 
@@ -179,6 +189,7 @@ class HybComb {
     // Lines 39-42: exchange our node with the spare, inform the next
     // combiner, and return. These run in mutual exclusion (footnote 3), so
     // plain read+write stands in for the paper's SWAP.
+    explore_point(ctx, "hyb.depart");
     Node* spare = rt::from_word<Node>(ctx.load(&departed_));
     ctx.store(&departed_, rt::to_word(my_node));
     Node* old_node = my_node;
@@ -253,8 +264,18 @@ class HybComb {
     std::uint64_t m[3];  // {sender_id, fptr, fargs} — lines 26/35
     ctx.receive(m, 3);
     obs::Span<Ctx> cs(ctx, "hyb.cs");
+    if (opts_.bug_drop_every != 0) [[unlikely]] {
+      if (++bug_serves_ % opts_.bug_drop_every == 0) {
+        // Seeded bug (Options::bug_drop_every): skip the CS, reply stale.
+        ctx.send(static_cast<Tid>(m[0]), {bug_last_ret_});
+        ++st.served;
+        return;
+      }
+    }
     Fn f = rt::from_word<std::remove_pointer_t<Fn>>(m[1]);
-    ctx.send(static_cast<Tid>(m[0]), {f(ctx, obj_, m[2])});  // lines 27/36
+    const std::uint64_t ret = f(ctx, obj_, m[2]);
+    bug_last_ret_ = ret;
+    ctx.send(static_cast<Tid>(m[0]), {ret});  // lines 27/36
     ++st.served;
   }
 
@@ -267,6 +288,10 @@ class HybComb {
   alignas(rt::kCacheLine) Word departed_{0};   ///< departed_combiner
   PerThread my_[kMaxThreads];
   PaddedStats stats_[kMaxThreads];
+  // Seeded-bug state (Options::bug_drop_every); only touched inside the
+  // combiner section, i.e. in mutual exclusion.
+  std::uint64_t bug_serves_ = 0;
+  std::uint64_t bug_last_ret_ = 0;
 };
 
 }  // namespace hmps::sync

@@ -42,6 +42,7 @@ class MpServer {
     const Tid tid = ctx.tid();
     check_tid(tid, kMaxThreads, "MpServer::apply");
     obs::Span<Ctx> span(ctx, "mp.request");
+    explore_point(ctx, "mp.pre_send");
     if (max_inflight_ == 0) {
       ctx.send(server_, {tid, rt::to_word(fn), arg});
       return ctx.receive1();
@@ -59,6 +60,7 @@ class MpServer {
     check_tid(ctx.tid(), kMaxThreads, "MpServer::serve");
     SyncStats& st = stats_[ctx.tid()].s;
     for (;;) {
+      explore_point(ctx, "mp.serve");
       std::uint64_t m[3];
       ctx.receive(m, 3);
       if (m[1] == kStopWord) return;

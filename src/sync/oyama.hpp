@@ -41,6 +41,7 @@ class OyamaComb {
         const std::uint64_t ret = fn(ctx, obj_, arg);
         ++st.served;
         drain(ctx, st);
+        explore_point(ctx, "oy.release");
         ctx.store(&lock_, std::uint64_t{0});
         ++st.ops;
         return ret;
@@ -58,6 +59,7 @@ class OyamaComb {
           ++st.cas_failures;
         }
         pushed = true;
+        explore_point(ctx, "oy.pushed");
       }
       if (ctx.load(&my->done)) {
         ++st.ops;

@@ -51,6 +51,7 @@ class ShmServer {
     const std::uint64_t seq = ++my_seq_[ctx.tid()].v;
     ctx.store(&ch.arg, arg);
     ctx.store(&ch.fn, rt::to_word(fn));
+    explore_point(ctx, "shm.publish");
     ctx.store(&ch.req_seq, seq);
     while (ctx.load(&ch.resp_seq) != seq) ctx.cpu_relax();
     return ctx.load(&ch.ret);
@@ -87,6 +88,7 @@ class ShmServer {
       }
       i = next;
       if (i == 0) {
+        explore_point(ctx, "shm.scan");
         // Completed a full scan. Back off briefly when it was empty: free
         // in the simulator, and natively it lets oversubscribed clients run
         // (the NativeCtx relax escalates to an OS yield).

@@ -7,9 +7,12 @@
 #include <vector>
 
 #include "arch/params.hpp"
+#include "check/explore.hpp"
+#include "check/gen.hpp"
 #include "ds/counter.hpp"
 #include "ds/elim_stack.hpp"
 #include "harness/history.hpp"
+#include "harness/record.hpp"
 #include "runtime/sim_context.hpp"
 #include "runtime/sim_executor.hpp"
 #include "sync/dsm_synch.hpp"
@@ -220,6 +223,90 @@ INSTANTIATE_TEST_SUITE_P(
       return "t" + std::to_string(std::get<0>(info.param)) + "_s" +
              std::to_string(std::get<1>(info.param));
     });
+
+// ---- schedule-exploration coverage (src/check, docs/TESTING.md) ----
+//
+// Drive each extension construction through the exploration harness with an
+// aggressive perturbation plan (rank delays + point preemptions at the
+// sync-layer yield points) and require the recorded history to pass both the
+// fast sound checks and — for these small windows — the complete checker.
+
+check::Scenario perturbed_scenario(harness::Construction c,
+                                   harness::Object o, std::uint64_t seed) {
+  check::Scenario s;
+  s.cfg.construction = c;
+  s.cfg.object = o;
+  s.cfg.seed = seed;
+  s.cfg.threads = 4;
+  s.cfg.ops_each = 6;
+  s.cfg.max_ops = 4;
+  s.cfg.think_max = 20;
+  s.perturb.seed = seed ^ 0xBEEF;
+  s.perturb.nthreads =
+      s.cfg.threads + (harness::uses_server(c) ? 1 : 0);
+  s.perturb.change_points = 3;
+  s.perturb.change_interval = 50'000;
+  s.perturb.resume_permille = 200;
+  s.perturb.delay_unit = 400;
+  s.perturb.point_permille = 300;
+  s.perturb.point_delay_max = 5'000;
+  check::clamp_cfg(s.cfg);
+  return s;
+}
+
+class ExtExplore
+    : public ::testing::TestWithParam<
+          std::tuple<harness::Construction, harness::Object, std::uint64_t>> {
+};
+
+TEST_P(ExtExplore, PerturbedHistoriesStayLinearizable) {
+  const auto [c, o, seed] = GetParam();
+  const check::Violation v =
+      check::run_scenario(perturbed_scenario(c, o, seed));
+  EXPECT_FALSE(v.found) << "[" << v.kind << "] " << v.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Exts, ExtExplore,
+    ::testing::Combine(
+        ::testing::Values(harness::Construction::kOyama,
+                          harness::Construction::kHSynch,
+                          harness::Construction::kDsmSynch,
+                          harness::Construction::kFlatCombining),
+        ::testing::Values(harness::Object::kCounter, harness::Object::kQueue,
+                          harness::Object::kStack),
+        ::testing::Values(11u, 97u)),
+    [](const auto& info) {
+      return std::string(harness::to_string(std::get<0>(info.param))) + "_" +
+             harness::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(ExtExploreElim, PerturbedElimStackStaysSound) {
+  // The construction field is ignored for direct concurrent objects; the
+  // elimination stack runs lock-free against the perturbed schedule.
+  for (const std::uint64_t seed : {7u, 131u}) {
+    const check::Violation v = check::run_scenario(perturbed_scenario(
+        harness::Construction::kCcSynch, harness::Object::kElimStack, seed));
+    EXPECT_FALSE(v.found) << "[" << v.kind << "] " << v.detail;
+  }
+}
+
+// ---- fixed-pool capacity aborts (sync::check_tid) ----
+
+TEST(ExtCapacityDeath, StatsIndexBeyondPoolAborts) {
+  ds::SeqCounter c;
+  sync::OyamaComb<SimCtx> oy(&c);
+  sync::HSynch<SimCtx> hs(&c, 8);
+  sync::DsmSynch<SimCtx> dsm(&c, 8);
+  sync::FlatCombining<SimCtx> fc(&c);
+  ds::ElimStack<SimCtx> st;
+  EXPECT_DEATH(oy.stats(64), "exceeds the construction's fixed capacity");
+  EXPECT_DEATH(hs.stats(64), "exceeds the construction's fixed capacity");
+  EXPECT_DEATH(dsm.stats(100), "exceeds the construction's fixed capacity");
+  EXPECT_DEATH(fc.stats(64), "exceeds the construction's fixed capacity");
+  EXPECT_DEATH(st.stats(64), "exceeds the construction's fixed capacity");
+}
 
 TEST(ElimStack, EliminationActuallyHappens) {
   // Heavy symmetric push/pop traffic with no think time should see some

@@ -1,13 +1,15 @@
 // Machine-parameter fuzzing: the synchronization algorithms must stay
 // correct on ANY sane machine (random mesh shapes, latencies, occupancies,
 // buffer sizes, feature flags) — correctness may not depend on timing.
-// Each seed derives a pseudo-random machine + workload; invariants are
-// checked for every construction.
+// Each seed derives a pseudo-random machine + workload (via the shared
+// generator in check/gen.hpp); invariants are checked for every
+// construction.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 
 #include "arch/params.hpp"
+#include "check/gen.hpp"
 #include "ds/counter.hpp"
 #include "ds/lcrq.hpp"
 #include "runtime/sim_context.hpp"
@@ -21,40 +23,9 @@
 namespace hmps {
 namespace {
 
+using check::random_machine;
 using rt::SimCtx;
 using rt::SimExecutor;
-
-arch::MachineParams random_machine(std::uint64_t seed) {
-  sim::Xoshiro256 r(seed);
-  arch::MachineParams p;
-  p.name = "fuzz-" + std::to_string(seed);
-  p.mesh_w = static_cast<std::uint32_t>(r.between(2, 8));
-  p.mesh_h = static_cast<std::uint32_t>(r.between(1, 8));
-  p.n_mem_ctrls = static_cast<std::uint32_t>(r.between(1, 4));
-  p.l_hit = r.between(1, 4);
-  p.hop = r.between(1, 4);
-  p.router = r.between(1, 4);
-  p.dir_lookup = r.between(2, 20);
-  p.home_mem = r.between(2, 20);
-  p.fwd_cost = r.between(1, 10);
-  p.xfer = r.between(1, 10);
-  p.inval_base = r.between(1, 6);
-  p.inval_per_sharer = r.between(0, 4);
-  p.line_occupancy = r.between(1, 16);
-  p.ctrl_op_faa = r.between(2, 20);
-  p.ctrl_op_cas = r.between(2, 80);
-  p.ctrl_op_cas_fail = r.between(1, 20);
-  p.udn_buf_words = static_cast<std::uint32_t>(r.between(8, 200));
-  p.udn_inject = r.between(1, 4);
-  p.udn_per_word_wire = r.between(1, 3);
-  p.udn_recv_word = r.between(1, 4);
-  p.fence_cost = r.between(1, 30);
-  p.posted_writes = r.below(2) == 0;
-  p.allow_prefetch = r.below(2) == 0;
-  p.atomics_at_ctrl = r.below(4) != 0;  // mostly TILE-style
-  p.model_link_contention = r.below(2) == 0;
-  return p;
-}
 
 class ParamFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -9,7 +9,6 @@
 #include "ds/counter.hpp"
 #include "ds/queue.hpp"
 #include "ds/stack.hpp"
-#include "ds/stack.hpp"
 #include "harness/history.hpp"
 #include "runtime/sim_context.hpp"
 #include "runtime/sim_executor.hpp"
