@@ -29,6 +29,7 @@ STALL_BUCKETS = [
     ("atomic", "A"),
     ("udn-send-block", "S"),
     ("udn-recv-wait", "u"),
+    ("udn-async-wait", "a"),
     ("spin", "~"),
     ("preempted", "P"),
 ]

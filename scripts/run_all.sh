@@ -14,13 +14,22 @@ echo "== tests =="
 ctest --test-dir build --output-on-failure 2>&1 | tee results/ctest.txt
 
 echo "== benches =="
+# stdout goes to bench_all.txt; stderr (progress lines, warnings) is kept
+# visible AND captured — a silently swallowed bench failure here once cost a
+# debugging session. Every hmps bench also drops its hmps-metrics-v1
+# artifact next to the text output; the two google-benchmark binaries
+# (native_micro, engine_micro) have their own CLI and are run bare.
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
-    echo "### $(basename "$b")"
-    "$b"
+    name="$(basename "$b")"
+    echo "### $name"
+    case "$name" in
+      native_micro|engine_micro) "$b" ;;
+      *) "$b" --json "results/$name.json" ;;
+    esac
     echo
   fi
-done 2>/dev/null | tee results/bench_all.txt
+done 2> >(tee results/bench_stderr.txt >&2) | tee results/bench_all.txt
 
 echo "== examples =="
 for e in build/examples/*; do

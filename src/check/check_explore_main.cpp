@@ -30,7 +30,8 @@ void usage() {
       "  --seed N              exploration seed (default 1)\n"
       "  --construction LIST   comma-separated subset (default: all):\n"
       "                        mp_server,hybcomb,shm_server,ccsynch,\n"
-      "                        dsm_synch,flat_combining,hsynch,oyama,mcs_lock\n"
+      "                        dsm_synch,flat_combining,hsynch,oyama,\n"
+      "                        mcs_lock,mp_server_hub\n"
       "  --object LIST         counter,queue,stack,lcrq,elim_stack\n"
       "  --fuzz-machines       also draw random machine parameters\n"
       "  --inject-bug N        seed the test-only HybComb defect (drop every\n"

@@ -84,6 +84,13 @@ Scenario draw_scenario(sim::Xoshiro256& r, const ExploreCfg& ecfg,
   s.cfg.think_max = r.between(0, 80);
   s.cfg.horizon = 20'000'000;  // generous: unperturbed runs finish in ~1M
   s.cfg.hyb_bug_drop_every = ecfg.hyb_bug_drop_every;
+  // ~1/3 of scenarios exercise the async ticket path with out-of-order
+  // reaps (clamp_cfg zeroes the depth for constructions/objects without
+  // it). Both values are always drawn so the stream stays aligned.
+  const std::uint64_t async_roll = r.below(3);
+  const std::uint64_t async_depth = r.between(2, 4);
+  s.cfg.async_depth =
+      async_roll == 0 ? static_cast<std::uint32_t>(async_depth) : 0;
 
   // Occasional fault-window sweep on top of the schedule perturbation.
   if (r.below(4) == 0) {
@@ -196,6 +203,12 @@ Scenario shrink(const Scenario& failing, Violation* out_violation,
     if (best.cfg.think_max > 0) {
       Scenario cand = best;
       cand.cfg.think_max = 0;
+      if (still_fails(cand)) progress = true;
+    }
+    // 6. Back to the synchronous loop (isolates async-plumbing failures).
+    if (best.cfg.async_depth != 0) {
+      Scenario cand = best;
+      cand.cfg.async_depth = 0;
       if (still_fails(cand)) progress = true;
     }
   }

@@ -70,12 +70,29 @@ inline void clamp_cfg(harness::RecordCfg& cfg) {
     cfg.threads =
         std::min<std::uint32_t>(cfg.threads, cores > 2 ? cores - 1 : 2);
   }
+  // Async trains only exist for the ticket-API constructions on CS-driven
+  // objects; everything else runs the classic synchronous loop.
+  if (!harness::supports_async(cfg.construction) ||
+      cfg.object == harness::Object::kLcrq ||
+      cfg.object == harness::Object::kElimStack) {
+    cfg.async_depth = 0;
+  }
+  cfg.async_depth = std::min<std::uint32_t>(cfg.async_depth, 16);
   const std::uint32_t total = cfg.threads + (server ? 1 : 0);
-  if (total > cores || server) {
+  if (total > cores || server || cfg.async_depth >= 2) {
     // Oversubscribed cores share one hardware buffer between up to 3 demux
-    // queues; size it for one request per client plus responses.
+    // queues; size it for one request per client plus responses. Async
+    // trains multiply the resident requests per client by the train depth —
+    // and they extend the rule to HybComb even with a core per thread: a
+    // waiting next-combiner parks in spin_combining_done() with up to
+    // 3*depth words of undrained replies in its buffer while its
+    // registrants' request sends push against the remainder, so a buffer
+    // sized for the synchronous protocol can wedge the active combiner's
+    // reply send (three-way cycle, found by exploration).
+    const std::uint32_t per_client =
+        3 * std::max<std::uint32_t>(1, cfg.async_depth);
     cfg.params.udn_buf_words = std::max<std::uint32_t>(
-        cfg.params.udn_buf_words, 3 * cfg.threads + 8);
+        cfg.params.udn_buf_words, per_client * cfg.threads + 8);
   }
   // The fixed per-thread pools cap every construction at 64 threads.
   cfg.threads = std::min<std::uint32_t>(cfg.threads, 63);

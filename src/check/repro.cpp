@@ -172,6 +172,7 @@ std::string repro_to_json(const Scenario& s, const Violation& v) {
   wl["think_max"] = JsonValue(s.cfg.think_max);
   wl["horizon"] = JsonValue(s.cfg.horizon);
   wl["hyb_bug_drop_every"] = JsonValue(s.cfg.hyb_bug_drop_every);
+  wl["async_depth"] = JsonValue(s.cfg.async_depth);
   j["workload"] = std::move(wl);
 
   j["machine"] = obs::MetricsRegistry::params_json(s.cfg.params);
@@ -217,6 +218,7 @@ bool repro_from_json(const std::string& text, Scenario* out,
   ok &= get_u64(*wl, "think_max", &s.cfg.think_max);
   ok &= get_u64(*wl, "horizon", &s.cfg.horizon);
   ok &= get_u64(*wl, "hyb_bug_drop_every", &s.cfg.hyb_bug_drop_every);
+  ok &= get_u32(*wl, "async_depth", &s.cfg.async_depth);
   if (!ok) return fail("workload: bad field type");
 
   if (const JsonValue* m = j.find("machine"); m != nullptr && m->is_object()) {

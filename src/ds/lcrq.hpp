@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "runtime/aligned.hpp"
 #include "runtime/context.hpp"
 #include "sync/cs.hpp"
 
@@ -105,11 +106,11 @@ class Lcrq {
   static constexpr std::uint64_t kClosedBit = std::uint64_t{1} << 63;
 
   struct Crq {
-    explicit Crq(std::uint32_t n) : ring(new Word[n]) {}
+    explicit Crq(std::uint32_t n) : ring(n) {}
     alignas(rt::kCacheLine) Word head{0};
     alignas(rt::kCacheLine) Word tail{0};
     alignas(rt::kCacheLine) Word next{0};  // Crq*
-    std::unique_ptr<Word[]> ring;
+    rt::AlignedArray<Word> ring;  // line packing independent of the heap
   };
 
   // Cell word: {safe:1 | idx:31 | val:32}.

@@ -18,8 +18,8 @@
 
 #include <cassert>
 #include <cstdint>
-#include <memory>
 
+#include "runtime/aligned.hpp"
 #include "runtime/context.hpp"
 #include "sync/cs.hpp"
 
@@ -38,7 +38,7 @@ class SeqQueue {
   };
 
   explicit SeqQueue(std::size_t capacity = 8192)
-      : cap_(capacity), arena_(new Node[capacity]) {
+      : cap_(capacity), arena_(capacity) {
     // Dummy node: arena slot 0.
     head_.store(rt::to_word(&arena_[0]), std::memory_order_relaxed);
     tail_.store(rt::to_word(&arena_[0]), std::memory_order_relaxed);
@@ -62,7 +62,7 @@ class SeqQueue {
 
  private:
   std::size_t cap_;
-  std::unique_ptr<Node[]> arena_;
+  rt::AlignedArray<Node> arena_;  // line packing independent of the heap
 };
 
 // ---- CS bodies: one-lock variant (no fences needed: one servicing

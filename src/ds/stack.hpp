@@ -9,8 +9,8 @@
 
 #include <cassert>
 #include <cstdint>
-#include <memory>
 
+#include "runtime/aligned.hpp"
 #include "runtime/context.hpp"
 #include "sync/cs.hpp"
 
@@ -28,7 +28,7 @@ class SeqStack {
   };
 
   explicit SeqStack(std::size_t capacity = 8192)
-      : cap_(capacity), arena_(new Node[capacity]) {
+      : cap_(capacity), arena_(capacity) {
     // All nodes start on the free list, threaded via next.
     for (std::size_t i = 0; i + 1 < capacity; ++i) {
       arena_[i].next.store(rt::to_word(&arena_[i + 1]),
@@ -44,7 +44,7 @@ class SeqStack {
 
  private:
   std::size_t cap_;
-  std::unique_ptr<Node[]> arena_;
+  rt::AlignedArray<Node> arena_;  // line packing independent of the heap
 };
 
 // Both the free list and the stack live under the same CS, so plain
@@ -103,8 +103,7 @@ class TreiberStack {
   /// `per_thread_nodes` nodes are pre-assigned to every thread's free list.
   explicit TreiberStack(std::uint32_t per_thread_nodes = 256)
       : per_thread_(per_thread_nodes),
-        arena_(new Node[static_cast<std::size_t>(kMaxThreads) *
-                        per_thread_nodes]) {
+        arena_(static_cast<std::size_t>(kMaxThreads) * per_thread_nodes) {
     top_.store(pack(0, kNullIdx), std::memory_order_relaxed);
     for (std::uint32_t t = 0; t < kMaxThreads; ++t) {
       const std::uint32_t base = t * per_thread_;
@@ -202,7 +201,7 @@ class TreiberStack {
   }
 
   std::uint32_t per_thread_;
-  std::unique_ptr<Node[]> arena_;
+  rt::AlignedArray<Node> arena_;  // line packing independent of the heap
   alignas(rt::kCacheLine) Word top_{0};
   FreeList free_[kMaxThreads];
   PaddedStats stats_[kMaxThreads];

@@ -17,6 +17,7 @@
 #include "sync/hybcomb.hpp"
 #include "sync/locks.hpp"
 #include "sync/mp_server.hpp"
+#include "sync/mp_server_hub.hpp"
 #include "sync/oyama.hpp"
 #include "sync/shm_server.hpp"
 
@@ -29,7 +30,7 @@ using rt::SimExecutor;
 
 constexpr const char* kConstructionNames[kNumConstructions] = {
     "mp_server", "hybcomb", "shm_server", "ccsynch", "dsm_synch",
-    "flat_combining", "hsynch", "oyama", "mcs_lock"};
+    "flat_combining", "hsynch", "oyama", "mcs_lock", "mp_server_hub"};
 
 constexpr const char* kObjectNames[kNumObjects] = {
     "counter", "queue", "stack", "lcrq", "elim_stack"};
@@ -78,7 +79,13 @@ bool object_from_string(std::string_view s, Object* out) {
 }
 
 bool uses_server(Construction c) {
-  return c == Construction::kMpServer || c == Construction::kShmServer;
+  return c == Construction::kMpServer || c == Construction::kShmServer ||
+         c == Construction::kMpServerHub;
+}
+
+bool supports_async(Construction c) {
+  return c == Construction::kMpServer || c == Construction::kMpServerHub ||
+         c == Construction::kShmServer || c == Construction::kHybComb;
 }
 
 RecordResult record_history(const RecordCfg& cfg, sim::Perturber* perturber) {
@@ -109,8 +116,24 @@ RecordResult record_history(const RecordCfg& cfg, sim::Perturber* perturber) {
   const std::uint32_t mo32 =
       static_cast<std::uint32_t>(std::min<std::uint64_t>(cfg.max_ops, 1u << 30));
   sync::MpServer<SimCtx> mp(0, obj);
-  sync::ShmServer<SimCtx> shm(0, obj);
+  sync::ShmServer<SimCtx> shm(0, obj, sync::ShmServer<SimCtx>::kMaxThreads,
+                              cfg.async_depth);
   sync::HybComb<SimCtx> hyb(obj, cfg.max_ops, /*fixed_combiner=*/false, hopts);
+  // The hub registers every CS body the driver can issue up front (its
+  // Section 5.2 opcode interface requires registration before serve()).
+  sync::MpServerHub<SimCtx> hub(0);
+  const std::uint64_t op_inc = hub.add_op(ds::counter_inc<SimCtx>, obj);
+  const std::uint64_t op_enq = hub.add_op(ds::q_enqueue<SimCtx>, obj);
+  const std::uint64_t op_deq = hub.add_op(ds::q_dequeue<SimCtx>, obj);
+  const std::uint64_t op_push = hub.add_op(ds::s_push<SimCtx>, obj);
+  const std::uint64_t op_pop = hub.add_op(ds::s_pop<SimCtx>, obj);
+  auto hub_opcode = [&](sync::CsFn<SimCtx> fn) -> std::uint64_t {
+    if (fn == ds::counter_inc<SimCtx>) return op_inc;
+    if (fn == ds::q_enqueue<SimCtx>) return op_enq;
+    if (fn == ds::q_dequeue<SimCtx>) return op_deq;
+    if (fn == ds::s_push<SimCtx>) return op_push;
+    return op_pop;
+  };
   sync::CcSynch<SimCtx> cc(obj, mo32);
   sync::DsmSynch<SimCtx> dsm(obj, mo32);
   sync::FlatCombining<SimCtx> fc(obj, sync::FlatCombining<SimCtx>::kMaxThreads,
@@ -131,8 +154,33 @@ RecordResult record_history(const RecordCfg& cfg, sim::Perturber* perturber) {
       case Construction::kHSynch: return hs.apply(ctx, fn, arg);
       case Construction::kOyama: return oy.apply(ctx, fn, arg);
       case Construction::kMcsLock: return mcs.apply(ctx, fn, arg);
+      case Construction::kMpServerHub:
+        return hub.apply(ctx, hub_opcode(fn), arg);
     }
     return 0;
+  };
+
+  // Async ticket dispatch (constructions without the API complete inline,
+  // so a depth-configured run over e.g. ccsynch degrades to synchronous).
+  auto issue_async = [&](SimCtx& ctx, sync::CsFn<SimCtx> fn,
+                         std::uint64_t arg) -> sync::Ticket {
+    switch (cfg.construction) {
+      case Construction::kMpServer: return mp.apply_async(ctx, fn, arg);
+      case Construction::kHybComb: return hyb.apply_async(ctx, fn, arg);
+      case Construction::kShmServer: return shm.apply_async(ctx, fn, arg);
+      case Construction::kMpServerHub:
+        return hub.apply_async(ctx, hub_opcode(fn), arg);
+      default: return sync::Ticket{0, apply(ctx, fn, arg), 0};
+    }
+  };
+  auto reap = [&](SimCtx& ctx, const sync::Ticket& t) -> std::uint64_t {
+    switch (cfg.construction) {
+      case Construction::kMpServer: return mp.wait(ctx, t);
+      case Construction::kHybComb: return hyb.wait(ctx, t);
+      case Construction::kShmServer: return shm.wait(ctx, t);
+      case Construction::kMpServerHub: return hub.wait(ctx, t);
+      default: return t.value;
+    }
   };
 
   const bool direct =
@@ -147,14 +195,103 @@ RecordResult record_history(const RecordCfg& cfg, sim::Perturber* perturber) {
     ex.add_thread([&](SimCtx& ctx) {
       if (cfg.construction == Construction::kMpServer) {
         mp.serve(ctx);
+      } else if (cfg.construction == Construction::kMpServerHub) {
+        hub.serve(ctx);
       } else {
         shm.serve(ctx);
       }
     });
   }
 
+  // Async recording mode: issue `depth`-sized trains of tickets, then reap
+  // them in REVERSE order (deliberately exercising the out-of-order staging
+  // path). Invocation is recorded at issue, response at reap, so the
+  // interval brackets the linearization point: the CS runs after the send
+  // and its reply arrives before the reap returns.
+  const std::uint32_t depth =
+      (!direct && supports_async(cfg.construction) && cfg.async_depth >= 2)
+          ? std::min<std::uint32_t>(cfg.async_depth, 16)
+          : 0;
+  auto run_async_client = [&](SimCtx& ctx, std::uint32_t i) {
+    std::uint32_t k = 0;
+    while (k < cfg.ops_each) {
+      const std::uint32_t n = std::min(depth, cfg.ops_each - k);
+      OpRecord recs[16];
+      sync::Ticket tickets[16];
+      for (std::uint32_t j = 0; j < n; ++j, ++k) {
+        OpRecord& r = recs[j];
+        r.thread = i;
+        const bool produce = ctx.rand_below(1000) < cfg.produce_permille;
+        sync::CsFn<SimCtx> fn = nullptr;
+        std::uint64_t arg = 0;
+        switch (cfg.object) {
+          case Object::kCounter:
+            r.kind = OpKind::kInc;
+            fn = ds::counter_inc<SimCtx>;
+            break;
+          case Object::kQueue:
+            if (produce) {
+              r.kind = OpKind::kEnq;
+              r.arg = (static_cast<std::uint64_t>(i) << 32) | k;
+              arg = r.arg;
+              fn = ds::q_enqueue<SimCtx>;
+            } else {
+              r.kind = OpKind::kDeq;
+              fn = ds::q_dequeue<SimCtx>;
+            }
+            break;
+          case Object::kStack:
+            if (produce) {
+              r.kind = OpKind::kPush;
+              r.arg = (static_cast<std::uint64_t>(i) << 32) | k;
+              arg = r.arg;
+              fn = ds::s_push<SimCtx>;
+            } else {
+              r.kind = OpKind::kPop;
+              fn = ds::s_pop<SimCtx>;
+            }
+            break;
+          case Object::kLcrq:
+          case Object::kElimStack:
+            break;  // unreachable: direct objects never run async
+        }
+        r.invoke = ctx.now();
+        tickets[j] = issue_async(ctx, fn, arg);
+      }
+      for (std::uint32_t j = n; j-- > 0;) {
+        OpRecord& r = recs[j];
+        r.ret = reap(ctx, tickets[j]);
+        if (r.kind == OpKind::kEnq || r.kind == OpKind::kPush) r.ret = 0;
+        if (r.kind == OpKind::kDeq && r.ret == ds::kQEmpty) r.ret = kNothing;
+        if (r.kind == OpKind::kPop && r.ret == ds::kStackEmpty) {
+          r.ret = kNothing;
+        }
+        r.response = ctx.now();
+        rec.record(r);
+      }
+      if (cfg.think_max > 0) {
+        ctx.compute(ctx.rand_below(
+            static_cast<std::uint32_t>(cfg.think_max) + 1));
+      }
+    }
+  };
+
   for (std::uint32_t i = 0; i < cfg.threads; ++i) {
     ex.add_thread([&, i](SimCtx& ctx) {
+      if (depth != 0) {
+        run_async_client(ctx, i);
+        ++res.finished_threads;
+        if (res.finished_threads == cfg.threads && server) {
+          if (cfg.construction == Construction::kMpServer) {
+            mp.request_stop(ctx);
+          } else if (cfg.construction == Construction::kMpServerHub) {
+            hub.request_stop(ctx);
+          } else {
+            shm.request_stop(ctx);
+          }
+        }
+        return;
+      }
       for (std::uint32_t k = 0; k < cfg.ops_each; ++k) {
         OpRecord r;
         r.thread = i;
@@ -226,6 +363,8 @@ RecordResult record_history(const RecordCfg& cfg, sim::Perturber* perturber) {
       if (res.finished_threads == cfg.threads && server) {
         if (cfg.construction == Construction::kMpServer) {
           mp.request_stop(ctx);
+        } else if (cfg.construction == Construction::kMpServerHub) {
+          hub.request_stop(ctx);
         } else {
           shm.request_stop(ctx);
         }

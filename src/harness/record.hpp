@@ -39,8 +39,9 @@ enum class Construction : std::uint8_t {
   kHSynch,
   kOyama,
   kMcsLock,
+  kMpServerHub,
 };
-inline constexpr std::uint32_t kNumConstructions = 9;
+inline constexpr std::uint32_t kNumConstructions = 10;
 
 /// Concurrent objects the harness can drive. Counter/queue/stack run their
 /// sequential bodies under the chosen construction; LCRQ and the
@@ -64,6 +65,10 @@ bool object_from_string(std::string_view s, Object* out);
 /// (tid 0) to the server loop.
 bool uses_server(Construction c);
 
+/// True for constructions exposing the async ticket API (docs/MODEL.md §9),
+/// i.e. those RecordCfg::async_depth applies to.
+bool supports_async(Construction c);
+
 /// One recorded run, fully described (hmps-repro-v1 serializes exactly
 /// these fields plus a PerturbPlan — src/check/repro.hpp).
 struct RecordCfg {
@@ -81,6 +86,11 @@ struct RecordCfg {
   /// Test-only seeded defect (sync::HybComb::Options::bug_drop_every); used
   /// by the exploration selftest, 0 everywhere else.
   std::uint64_t hyb_bug_drop_every = 0;
+  /// >= 2: clients issue trains of this many apply_async() tickets and reap
+  /// them in reverse order (invocation recorded at issue, response at reap —
+  /// docs/MODEL.md §9). Only meaningful for supports_async() constructions
+  /// on counter/queue/stack; 0/1 = classic synchronous loop.
+  std::uint32_t async_depth = 0;
 };
 
 struct RecordResult {

@@ -18,6 +18,7 @@
 #include "ds/stack.hpp"
 #include "runtime/sim_context.hpp"
 #include "runtime/sim_executor.hpp"
+#include "sync/async_batcher.hpp"
 #include "sync/ccsynch.hpp"
 #include "sync/hybcomb.hpp"
 #include "sync/locks.hpp"
@@ -91,8 +92,10 @@ struct Snapshot {
 
 struct DriverHooks {
   // One application operation (op index k for alternation). Runs on an app
-  // thread's context.
-  std::function<void(SimCtx&, std::uint64_t)> op;
+  // thread's context. Returns the number of operations COMPLETED by the
+  // call: 1 for synchronous apply, 0 while an async batcher is buffering,
+  // and the train length when a train is issued and reaped.
+  std::function<std::uint64_t(SimCtx&, std::uint64_t)> op;
   // Server bodies (run on threads 0..n_servers-1); empty = no servers.
   std::vector<std::function<void(SimCtx&)>> servers;
   // Sums construction stats over all thread slots.
@@ -129,11 +132,14 @@ RunResult drive(const RunCfg& cfg, DriverHooks hooks) {
       std::uint64_t k = 0;
       for (;;) {
         const Cycle t0 = ctx.now();
-        hooks.op(ctx, k++);
+        const std::uint64_t done = hooks.op(ctx, k++);
         const Cycle lat = ctx.now() - t0;
-        ops[i] += 1;
+        // latsum accumulates all time spent inside op() (including calls
+        // that only buffered), so lat_mean stays time-per-completed-op
+        // under batching; the histogram records the train's mean.
+        ops[i] += done;
         latsum[i] += static_cast<double>(lat);
-        if (measuring) lat_hist.add(lat);
+        if (measuring && done > 0) lat_hist.add(lat / done);
         // Section 5.2: up to think_iters_max empty loop iterations.
         ctx.compute(cfg.think_iter_cost *
                     ctx.rand_below(cfg.think_iters_max + 1));
@@ -211,6 +217,9 @@ RunResult drive(const RunCfg& cfg, DriverHooks hooks) {
         cur.stats.throttle_waits - prev.stats.throttle_waits;
     stat_delta.stall_timeouts +=
         cur.stats.stall_timeouts - prev.stats.stall_timeouts;
+    stat_delta.async_issued += cur.stats.async_issued - prev.stats.async_issued;
+    stat_delta.async_batched +=
+        cur.stats.async_batched - prev.stats.async_batched;
     msgs += cur.msgs - prev.msgs;
     ctrl_wait += static_cast<double>(cur.ctrl_wait - prev.ctrl_wait);
 
@@ -269,6 +278,7 @@ RunResult drive(const RunCfg& cfg, DriverHooks hooks) {
     c["fixed_combiner"] = JsonValue(cfg.fixed_combiner);
     c["max_inflight"] = JsonValue(cfg.max_inflight);
     c["stall_timeout"] = JsonValue(std::uint64_t{cfg.stall_timeout});
+    c["async_batch"] = JsonValue(std::uint64_t{cfg.async_batch});
     c["faults_enabled"] = JsonValue(cfg.faults.enabled());
     JsonValue& res = run["results"];
     res["mops"] = JsonValue(r.mops);
@@ -322,11 +332,35 @@ RunResult run_counter(const RunCfg& cfg, Approach a) {
   const std::uint64_t arg = cfg.cs_iters;
 
   sync::MpServer<SimCtx> mp(0, obj, cfg.max_inflight);
-  sync::ShmServer<SimCtx> shm(0, obj);
+  sync::ShmServer<SimCtx> shm(0, obj, sync::ShmServer<SimCtx>::kMaxThreads,
+                              cfg.async_batch);
   sync::HybComb<SimCtx>::Options hopts;
   hopts.stall_timeout = cfg.stall_timeout;
   hopts.max_inflight = cfg.max_inflight;
   sync::HybComb<SimCtx> hyb(obj, cfg.max_ops, cfg.fixed_combiner, hopts);
+
+  // Per-thread request batchers for the async-capable constructions
+  // (indexed by ctx.tid(); unused entries are inert).
+  using MpBatch = sync::AsyncBatcher<SimCtx, sync::MpServer<SimCtx>>;
+  using HybBatch = sync::AsyncBatcher<SimCtx, sync::HybComb<SimCtx>>;
+  using ShmBatch = sync::AsyncBatcher<SimCtx, sync::ShmServer<SimCtx>>;
+  std::vector<MpBatch> mpb;
+  std::vector<HybBatch> hybb;
+  std::vector<ShmBatch> shmb;
+  const bool batching =
+      cfg.async_batch >= 2 &&
+      (a == Approach::kMpServer || a == Approach::kHybComb ||
+       a == Approach::kShmServer);
+  if (batching) {
+    mpb.reserve(64);
+    hybb.reserve(64);
+    shmb.reserve(64);
+    for (std::uint32_t t = 0; t < 64; ++t) {
+      mpb.emplace_back(mp, cfg.async_batch);
+      hybb.emplace_back(hyb, cfg.async_batch);
+      shmb.emplace_back(shm, cfg.async_batch);
+    }
+  }
   sync::CcSynch<SimCtx> cc(obj, static_cast<std::uint32_t>(cfg.max_ops),
                            cfg.fixed_combiner);
   sync::LockUc<SimCtx, sync::McsLock<SimCtx>> mcs(obj);
@@ -345,19 +379,30 @@ RunResult run_counter(const RunCfg& cfg, Approach a) {
       }
     });
   }
-  hooks.op = [&, a, fn, arg](SimCtx& ctx, std::uint64_t) {
-    switch (a) {
-      case Approach::kMpServer: mp.apply(ctx, fn, arg); break;
-      case Approach::kHybComb: hyb.apply(ctx, fn, arg); break;
-      case Approach::kShmServer: shm.apply(ctx, fn, arg); break;
-      case Approach::kCcSynch: cc.apply(ctx, fn, arg); break;
-      case Approach::kMcsLock: mcs.apply(ctx, fn, arg); break;
-      case Approach::kClhLock: clh.apply(ctx, fn, arg); break;
-      case Approach::kTicketLock: ticket.apply(ctx, fn, arg); break;
-      case Approach::kTasLock: tas.apply(ctx, fn, arg); break;
-      case Approach::kTtasLock: ttas.apply(ctx, fn, arg); break;
-    }
-  };
+  if (batching) {
+    hooks.op = [&, a, fn, arg](SimCtx& ctx, std::uint64_t) -> std::uint64_t {
+      switch (a) {
+        case Approach::kMpServer: return mpb[ctx.tid()].add(ctx, fn, arg);
+        case Approach::kHybComb: return hybb[ctx.tid()].add(ctx, fn, arg);
+        default: return shmb[ctx.tid()].add(ctx, fn, arg);
+      }
+    };
+  } else {
+    hooks.op = [&, a, fn, arg](SimCtx& ctx, std::uint64_t) -> std::uint64_t {
+      switch (a) {
+        case Approach::kMpServer: mp.apply(ctx, fn, arg); break;
+        case Approach::kHybComb: hyb.apply(ctx, fn, arg); break;
+        case Approach::kShmServer: shm.apply(ctx, fn, arg); break;
+        case Approach::kCcSynch: cc.apply(ctx, fn, arg); break;
+        case Approach::kMcsLock: mcs.apply(ctx, fn, arg); break;
+        case Approach::kClhLock: clh.apply(ctx, fn, arg); break;
+        case Approach::kTicketLock: ticket.apply(ctx, fn, arg); break;
+        case Approach::kTasLock: tas.apply(ctx, fn, arg); break;
+        case Approach::kTtasLock: ttas.apply(ctx, fn, arg); break;
+      }
+      return 1;
+    };
+  }
   hooks.sum_stats = [&, a]() {
     SyncStats sum;
     for (std::uint32_t t = 0; t < 64; ++t) {
@@ -438,7 +483,30 @@ RunResult run_queue(const RunCfg& cfg, QueueImpl qi) {
                    static_cast<int>(qi));
       std::abort();
   }
-  hooks.op = [&, qi](SimCtx& ctx, std::uint64_t k) {
+  // Async batching for the single-server message-passing queue (the other
+  // impls stay synchronous; combiner/lock-free queues have no server to
+  // pipeline against a second request).
+  using Mp1Batch = sync::AsyncBatcher<SimCtx, sync::MpServer<SimCtx>>;
+  std::vector<Mp1Batch> mp1b;
+  if (cfg.async_batch >= 2 && qi == QueueImpl::kMp1) {
+    mp1b.reserve(64);
+    for (std::uint32_t t = 0; t < 64; ++t) {
+      mp1b.emplace_back(mp1, cfg.async_batch);
+    }
+    hooks.op = [&](SimCtx& ctx, std::uint64_t k) -> std::uint64_t {
+      const bool enq = (k & 1) == 0;
+      const std::uint64_t v = 1 + (k & 0xFFFF);
+      return enq ? mp1b[ctx.tid()].add(ctx, ds::q_enqueue<SimCtx>, v)
+                 : mp1b[ctx.tid()].add(ctx, ds::q_dequeue<SimCtx>, 0);
+    };
+    hooks.sum_stats = [&]() {
+      SyncStats sum;
+      for (std::uint32_t t = 0; t < 64; ++t) sum.add(mp1.stats(t));
+      return sum;
+    };
+    return drive(cfg, std::move(hooks));
+  }
+  hooks.op = [&, qi](SimCtx& ctx, std::uint64_t k) -> std::uint64_t {
     const bool enq = (k & 1) == 0;
     const std::uint64_t v = 1 + (k & 0xFFFF);
     switch (qi) {
@@ -467,6 +535,7 @@ RunResult run_queue(const RunCfg& cfg, QueueImpl qi) {
             : (void)lcrq.dequeue(ctx);
         break;
     }
+    return 1;
   };
   hooks.sum_stats = [&, qi]() {
     SyncStats sum;
@@ -507,7 +576,7 @@ RunResult run_stack(const RunCfg& cfg, StackImpl si) {
   } else if (si == StackImpl::kShm) {
     hooks.servers.push_back([&](SimCtx& ctx) { shm.serve(ctx); });
   }
-  hooks.op = [&, si](SimCtx& ctx, std::uint64_t k) {
+  hooks.op = [&, si](SimCtx& ctx, std::uint64_t k) -> std::uint64_t {
     const bool push = (k & 1) == 0;
     const std::uint64_t v = 1 + (k & 0xFFFF);
     switch (si) {
@@ -531,6 +600,7 @@ RunResult run_stack(const RunCfg& cfg, StackImpl si) {
         push ? tr.push(ctx, v) : (void)tr.pop(ctx);
         break;
     }
+    return 1;
   };
   hooks.sum_stats = [&, si]() {
     SyncStats sum;

@@ -81,6 +81,12 @@ struct RunCfg {
   std::uint64_t max_inflight = 0;     ///< Section 6 overflow guard for
                                       ///< MP-SERVER/HYBCOMB (0 = off)
   sim::Cycle stall_timeout = 0;       ///< HYBCOMB combiner-stall knob
+  std::uint32_t async_batch = 0;      ///< >= 2: clients issue trains of this
+                                      ///< many apply_async() requests via
+                                      ///< sync::AsyncBatcher (MP-SERVER,
+                                      ///< HYBCOMB, SHM-SERVER counter runs
+                                      ///< and the MP1 queue). 0/1 = classic
+                                      ///< synchronous apply().
   RunObs obs{};                       ///< observability sinks (all off)
 };
 

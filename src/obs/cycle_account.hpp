@@ -34,6 +34,7 @@ class CycleAccount {
     kAtomic,          ///< atomic RMW round trip (incl. controller queueing)
     kUdnSendBlock,    ///< UDN send blocked on backpressure
     kUdnRecvWait,     ///< UDN receive on an empty queue
+    kUdnAsyncWait,    ///< reaping an async-delegation ticket (wait/wait_all)
     kSpin,            ///< explicit backoff / cpu_relax spinning
     kPreempted,       ///< injected preemption windows (sim/fault.hpp)
     kIdle,            ///< nothing scheduled on this core
@@ -48,6 +49,7 @@ class CycleAccount {
       case kAtomic: return "atomic";
       case kUdnSendBlock: return "udn-send-block";
       case kUdnRecvWait: return "udn-recv-wait";
+      case kUdnAsyncWait: return "udn-async-wait";
       case kSpin: return "spin";
       case kPreempted: return "preempted";
       case kIdle: return "idle";

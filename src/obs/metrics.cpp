@@ -151,6 +151,8 @@ JsonValue MetricsRegistry::sync_stats_json(const sync::SyncStats& s) {
   j["cas_failures"] = JsonValue(s.cas_failures);
   j["throttle_waits"] = JsonValue(s.throttle_waits);
   j["stall_timeouts"] = JsonValue(s.stall_timeouts);
+  j["async_issued"] = JsonValue(s.async_issued);
+  j["async_batched"] = JsonValue(s.async_batched);
   return j;
 }
 

@@ -1,0 +1,50 @@
+// Cache-line-aligned array storage for simulated shared memory.
+//
+// The coherence model maps host addresses to lines by `addr / line_bytes`
+// (src/arch/coherence.hpp); home tiles are assigned by dense first-touch
+// order, but WHICH words share a line is still a property of the host
+// allocation base modulo the line size. Structures whose hot words carry
+// `alignas(rt::kCacheLine)` are immune; bulk node arenas from plain
+// `new T[n]` are not — a 16-byte-aligned arena base shifts the node/line
+// packing with ASLR and with allocator state, which made queue/stack
+// timings drift across processes and even between two runs in one process
+// (tests/test_check_explore.cpp, RecordHistory). Every arena that backs
+// simulated shared memory allocates through this wrapper so line packing
+// is a property of the data structure, not of the host heap.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+#include "runtime/context.hpp"
+
+namespace hmps::rt {
+
+/// Fixed-size value-initialized array whose base is aligned to the
+/// simulated cache-line size. Non-copyable; elements are destroyed in
+/// reverse order.
+template <class T>
+class AlignedArray {
+ public:
+  explicit AlignedArray(std::size_t n)
+      : n_(n),
+        p_(static_cast<T*>(::operator new(
+            n * sizeof(T), std::align_val_t{kCacheLine}))) {
+    for (std::size_t i = 0; i < n_; ++i) new (p_ + i) T();
+  }
+  ~AlignedArray() {
+    for (std::size_t i = n_; i-- > 0;) p_[i].~T();
+    ::operator delete(p_, std::align_val_t{kCacheLine});
+  }
+  AlignedArray(const AlignedArray&) = delete;
+  AlignedArray& operator=(const AlignedArray&) = delete;
+
+  T& operator[](std::size_t i) { return p_[i]; }
+  const T& operator[](std::size_t i) const { return p_[i]; }
+
+ private:
+  std::size_t n_;
+  T* p_;
+};
+
+}  // namespace hmps::rt

@@ -112,7 +112,40 @@ class NativeCtx {
     return w;
   }
 
+  /// Same as receive(); the SimCtx counterpart attributes the wait to a
+  /// dedicated cycle-account bucket, natively there is nothing to account.
+  void receive_async(std::uint64_t* out, std::size_t n) { receive(out, n); }
+
   bool queue_empty() { return staged_.empty() && env_.chan(tid_).empty(); }
+
+  // ---- async reply staging (tagged-receive demux, docs/MODEL.md §9) ----
+  // Replies popped while waiting for a different tag park here until their
+  // ticket is reaped; complements the staged-word queue above, which keeps
+  // whole frames in arrival order.
+
+  void stage_reply(std::uint64_t tag, std::uint64_t val) {
+    staged_replies_.emplace_back(tag, val);
+  }
+
+  bool take_staged_reply(std::uint64_t tag, std::uint64_t* val) {
+    for (std::size_t i = 0; i < staged_replies_.size(); ++i) {
+      if (staged_replies_[i].first == tag) {
+        *val = staged_replies_[i].second;
+        staged_replies_[i] = staged_replies_.back();
+        staged_replies_.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool take_any_staged_reply(std::uint64_t* tag, std::uint64_t* val) {
+    if (staged_replies_.empty()) return false;
+    *tag = staged_replies_.back().first;
+    *val = staged_replies_.back().second;
+    staged_replies_.pop_back();
+    return true;
+  }
 
   // ---- execution ----
 
@@ -130,8 +163,13 @@ class NativeCtx {
 
   Cycle now() const {
 #if defined(__x86_64__)
-    std::uint32_t lo, hi;
-    asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+    // rdtscp waits for all preceding instructions to retire, and the
+    // trailing lfence keeps later loads from hoisting above the read —
+    // an unserialized rdtsc can float across the measured region and
+    // skew native_micro / sec55_discussion latencies.
+    std::uint32_t lo, hi, aux;
+    asm volatile("rdtscp" : "=a"(lo), "=d"(hi), "=c"(aux));
+    asm volatile("lfence" ::: "memory");
     return (static_cast<std::uint64_t>(hi) << 32) | lo;
 #else
     return static_cast<Cycle>(std::chrono::steady_clock::now()
@@ -153,6 +191,7 @@ class NativeCtx {
   Tid tid_;
   sim::Xoshiro256 rng_;
   std::deque<std::uint64_t> staged_;  // words popped but not yet consumed
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> staged_replies_;
   std::uint32_t relax_spins_ = 0;
 };
 

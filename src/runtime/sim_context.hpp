@@ -153,35 +153,51 @@ class SimCtx {
   }
 
   void receive(std::uint64_t* out, std::size_t n) {
-    fault_stall();
-    auto& c = m_.core(core_);
-    ++c.msgs_received;
-    const Cycle t0 = now();
-    const bool had = m_.udn().words_pending(core_, queue_) >= n;
-    m_.udn().receive(core_, queue_, out, n);
-    const Cycle dt = now() - t0;
-    m_.tracer().event(core_, had ? "receive" : "receive-wait", t0, dt);
-    const Cycle pop_cost =
-        m_.params().udn_recv_word * static_cast<Cycle>(n);
-    if (had) {
-      c.busy += dt;
-      charge(Bucket::kCompute, t0, t0 + dt);
-    } else {
-      // Waiting for a message is idle time, not a pipeline stall. The pop
-      // happens after the words arrive, so the wait leads and the register
-      // reads trail.
-      c.busy += pop_cost;
-      c.idle += dt > pop_cost ? dt - pop_cost : 0;
-      const Cycle wait = dt > pop_cost ? dt - pop_cost : 0;
-      charge(Bucket::kUdnRecvWait, t0, t0 + wait);
-      charge(Bucket::kCompute, t0 + wait, t0 + dt);
-    }
+    receive_impl(out, n, Bucket::kUdnRecvWait, "receive-wait");
+  }
+
+  /// Identical timing to receive(); the empty-queue wait is attributed to
+  /// the async-delegation bucket instead. Used by the constructions'
+  /// wait()/wait_all() ticket-reaping paths (docs/MODEL.md §9) so Fig. 4a
+  /// style breakdowns separate "blocked on a future" from the server's
+  /// ordinary receive wait.
+  void receive_async(std::uint64_t* out, std::size_t n) {
+    receive_impl(out, n, Bucket::kUdnAsyncWait, "receive-async-wait");
   }
 
   std::uint64_t receive1() {
     std::uint64_t w;
     receive(&w, 1);
     return w;
+  }
+
+  // ---- async reply staging (tagged-receive demux, docs/MODEL.md §9) ----
+  // Replies popped while waiting for a different tag park here until their
+  // ticket is reaped. Pure register-file bookkeeping: no cycles are
+  // charged, matching NativeCtx's staged-word queue.
+
+  void stage_reply(std::uint64_t tag, std::uint64_t val) {
+    staged_replies_.emplace_back(tag, val);
+  }
+
+  bool take_staged_reply(std::uint64_t tag, std::uint64_t* val) {
+    for (std::size_t i = 0; i < staged_replies_.size(); ++i) {
+      if (staged_replies_[i].first == tag) {
+        *val = staged_replies_[i].second;
+        staged_replies_[i] = staged_replies_.back();
+        staged_replies_.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool take_any_staged_reply(std::uint64_t* tag, std::uint64_t* val) {
+    if (staged_replies_.empty()) return false;
+    *tag = staged_replies_.back().first;
+    *val = staged_replies_.back().second;
+    staged_replies_.pop_back();
+    return true;
   }
 
   bool queue_empty() {
@@ -243,6 +259,33 @@ class SimCtx {
   }
 
  private:
+  void receive_impl(std::uint64_t* out, std::size_t n, Bucket wait_bucket,
+                    const char* wait_name) {
+    fault_stall();
+    auto& c = m_.core(core_);
+    ++c.msgs_received;
+    const Cycle t0 = now();
+    const bool had = m_.udn().words_pending(core_, queue_) >= n;
+    m_.udn().receive(core_, queue_, out, n);
+    const Cycle dt = now() - t0;
+    m_.tracer().event(core_, had ? "receive" : wait_name, t0, dt);
+    const Cycle pop_cost =
+        m_.params().udn_recv_word * static_cast<Cycle>(n);
+    if (had) {
+      c.busy += dt;
+      charge(Bucket::kCompute, t0, t0 + dt);
+    } else {
+      // Waiting for a message is idle time, not a pipeline stall. The pop
+      // happens after the words arrive, so the wait leads and the register
+      // reads trail.
+      c.busy += pop_cost;
+      c.idle += dt > pop_cost ? dt - pop_cost : 0;
+      const Cycle wait = dt > pop_cost ? dt - pop_cost : 0;
+      charge(wait_bucket, t0, t0 + wait);
+      charge(Bucket::kCompute, t0 + wait, t0 + dt);
+    }
+  }
+
   /// Charges [start, end) on this core's cycle account (obs layer). Pure
   /// bookkeeping: never advances simulated time.
   void charge(Bucket b, Cycle start, Cycle end) {
@@ -378,6 +421,7 @@ class SimCtx {
   Tid core_;
   std::uint32_t queue_;
   sim::Xoshiro256 rng_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> staged_replies_;
 };
 
 static_assert(ExecutionContext<SimCtx>);

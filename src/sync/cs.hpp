@@ -33,6 +33,54 @@ using CsFn = std::uint64_t (*)(Ctx&, void* obj, std::uint64_t arg);
 /// function pointer).
 inline constexpr std::uint64_t kStopWord = 0;
 
+// ---- asynchronous delegation (docs/MODEL.md §9) ----
+//
+// An async request reuses the 3-word request format but packs a per-thread
+// tag into the high half of the sender word:
+//     request  = { tid | (tag << 32), fn, arg }        tag in [1, 2^31)
+//     response = { kAsyncReplyMark | tag, retval }     (+ a pad word where
+//                                                       frames must stay
+//                                                       3 words, HybComb)
+// tag == 0 marks a synchronous request and keeps the classic 1-word
+// response, so the wire format is backward compatible. Bit 63 of a frame's
+// first word distinguishes reply frames from request frames (a request's
+// first word has a 31-bit tag at most, so bit 63 is always clear), which is
+// what lets a HybComb combiner demux stray replies to its own outstanding
+// tickets out of its request stream.
+
+/// Reply-frame mark (bit 63 of the first reply word).
+inline constexpr std::uint64_t kAsyncReplyMark = std::uint64_t{1} << 63;
+/// Tags are 31-bit, nonzero, per-thread monotonic (wrapping).
+inline constexpr std::uint64_t kAsyncTagMask = 0x7FFFFFFF;
+
+inline constexpr std::uint64_t pack_request_id(Tid tid, std::uint64_t tag) {
+  return static_cast<std::uint64_t>(tid) | (tag << 32);
+}
+inline constexpr Tid request_tid(std::uint64_t w0) {
+  return static_cast<Tid>(w0 & 0xFFFFFFFFu);
+}
+inline constexpr std::uint64_t request_tag(std::uint64_t w0) {
+  return (w0 >> 32) & kAsyncTagMask;
+}
+inline constexpr bool is_reply_frame(std::uint64_t w0) {
+  return (w0 & kAsyncReplyMark) != 0;
+}
+inline constexpr std::uint64_t reply_tag(std::uint64_t w0) {
+  return w0 & kAsyncTagMask;
+}
+
+/// Future for one asynchronous critical-section application. tag == 0 means
+/// the operation already completed inline (e.g. the HybComb caller became
+/// the combiner) and `value` holds the result; otherwise the ticket must be
+/// reaped with the issuing construction's wait()/wait_all() by the issuing
+/// thread. A pending ticket holds its Section 6 in-flight credit until the
+/// reply reaches the client (docs/MODEL.md §9).
+struct Ticket {
+  std::uint64_t tag = 0;
+  std::uint64_t value = 0;  ///< result, valid iff tag == 0
+  std::uint32_t aux = 0;    ///< construction-private (e.g. ShmServer slot)
+};
+
 /// Per-construction counters, exposed uniformly so the harness can report
 /// the paper's Fig. 4b / Section 5.3 metrics.
 struct SyncStats {
@@ -44,6 +92,9 @@ struct SyncStats {
   // Section 6 robustness paths (docs/ROBUSTNESS.md):
   std::uint64_t throttle_waits = 0;  ///< waits for an in-flight credit
   std::uint64_t stall_timeouts = 0;  ///< combiner-stall timeouts observed
+  // Asynchronous delegation (docs/MODEL.md §9):
+  std::uint64_t async_issued = 0;    ///< apply_async() tickets issued
+  std::uint64_t async_batched = 0;   ///< async ops sent in trains of >= 2
 
   void reset() { *this = SyncStats{}; }
 
@@ -56,6 +107,8 @@ struct SyncStats {
     cas_failures += o.cas_failures;
     throttle_waits += o.throttle_waits;
     stall_timeouts += o.stall_timeouts;
+    async_issued += o.async_issued;
+    async_batched += o.async_batched;
   }
 
   /// Average requests executed per combining round (Fig. 4b).

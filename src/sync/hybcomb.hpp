@@ -22,6 +22,7 @@
 //    38-42 and the "additional comments" paragraph).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 
@@ -58,12 +59,18 @@ class HybComb {
     /// requests sit in its private hardware queue. 0 disables.
     Cycle stall_timeout = 0;
     /// Section 6 overflow guard: bound the requests in flight *per
-    /// combiner* (credit before send, release after the response), keeping
-    /// a combiner's hardware buffer from overflowing under pressure. The
-    /// credit counter lives in the combiner's node: registrants of a
-    /// not-yet-active successor combiner draw from a different pool, so
-    /// they can never starve the active combiner's registrants into a
-    /// cross-generation deadlock. 0 disables (the paper's unbounded
+    /// combiner* (credit before send, released when the combiner SERVES
+    /// the request), keeping a combiner's hardware buffer from overflowing
+    /// under pressure. The credit counter lives in the combiner's node:
+    /// registrants of a not-yet-active successor combiner draw from a
+    /// different pool, so they can never starve the active combiner's
+    /// registrants into a cross-generation deadlock. Unlike the server
+    /// constructions (which release at reply arrival, docs/MODEL.md §9),
+    /// release happens on the combiner side: a combiner blocks waiting for
+    /// specific registrants' frames, so liveness must never depend on some
+    /// third client draining its replies — a credit holder parked in
+    /// spin_combining_done() cannot drain (its queue may already hold its
+    /// successor-tenure request frames). 0 disables (the paper's unbounded
     /// behavior).
     std::uint64_t max_inflight = 0;
     /// TEST-ONLY seeded defect for the src/check schedule-exploration
@@ -107,98 +114,94 @@ class HybComb {
   std::uint64_t apply(Ctx& ctx, Fn fn, std::uint64_t arg) {
     const Tid tid = ctx.tid();
     check_tid(tid, kMaxThreads, "HybComb::apply");
+    // With async tickets outstanding the synchronous 1-word response would
+    // misframe behind the pending 3-word tagged replies; route through the
+    // async path instead (docs/MODEL.md §9).
+    if (async_[tid].outstanding > 0) {
+      return wait(ctx, apply_async(ctx, fn, arg));
+    }
     SyncStats& st = stats_[tid].s;
-    Node* my_node = my_[tid].node;
-    std::uint64_t ops_completed = 0;  // line 7
-    Node* last_reg;
-
-    for (;;) {  // line 8
-      explore_point(ctx, "hyb.register");
-      last_reg = rt::from_word<Node>(ctx.load(&lrc_));  // line 9
-      // Line 11: try to register with the last registered combiner.
-      if (ctx.faa(&last_reg->n_ops, 1) < max_ops_) {
-        // Lines 12-14: success; send request, await response.
-        obs::Span<Ctx> req(ctx, "hyb.request");
-        const Tid comb =
-            static_cast<Tid>(ctx.load(&last_reg->thread_id));
-        if (opts_.max_inflight) acquire_credit(ctx, last_reg, st);
-        explore_point(ctx, "hyb.pre_send");
-        ctx.send(comb, {tid, rt::to_word(fn), arg});
-        ++st.ops;
-        const std::uint64_t ret = ctx.receive1();
-        if (opts_.max_inflight) {
-          // Release on the node we acquired on: +(-1). Acquire/release
-          // always pair on the same node, so the counter never wraps even
-          // when the node is recycled before a late release lands.
-          ctx.faa(&last_reg->inflight, ~std::uint64_t{0});
-        }
-        return ret;
-      }
-      // Lines 16-21: failure; try to register as the next combiner.
-      if (opts_.swap_registration) {
-        // Ablation: SWAP always succeeds; combiners form a CLH-style chain
-        // (every candidate becomes a combiner, possibly for its own request
-        // only).
-        last_reg = rt::from_word<Node>(
-            ctx.exchange(&lrc_, rt::to_word(my_node)));
-        ctx.store(&my_node->n_ops, std::uint64_t{0});
-        spin_combining_done(ctx, last_reg, st);
-        break;
-      }
-      ++st.cas_attempts;
-      if (ctx.cas(&lrc_, rt::to_word(last_reg), rt::to_word(my_node))) {
-        ctx.store(&my_node->n_ops, std::uint64_t{0});  // line 18
-        spin_combining_done(ctx, last_reg, st);        // lines 19-20
-        break;  // line 21
-      }
-      ++st.cas_failures;
+    Node* reg = nullptr;
+    if (try_register_send(ctx, fn, arg, /*tag=*/0, st, &reg)) {
+      // Lines 12-14 tail: await the response (the combiner released our
+      // credit when it served the request).
+      return ctx.receive1();
     }
+    return combine_section(ctx, fn, arg, st);
+  }
 
-    // ---- combiner section: lines 23-43, in mutual exclusion ----
-    obs::Span<Ctx> combine(ctx, "hyb.combine");
-    ++st.tenures;
-    const std::uint64_t retval = fn(ctx, obj_, arg);  // line 23
-    ++st.ops;
-    ++st.served;
+  /// Issues `fn(obj, arg)` without blocking on the response. When the
+  /// request registers with an active combiner the ticket is pending (reap
+  /// with wait()/wait_all() on this thread); when registration is closed
+  /// everywhere the caller becomes the combiner exactly as in apply() and
+  /// the ticket completes inline — the combiner transition cannot be
+  /// deferred, its pending requests sit in this thread's hardware queue.
+  Ticket apply_async(Ctx& ctx, Fn fn, std::uint64_t arg) {
+    const Tid tid = ctx.tid();
+    check_tid(tid, kMaxThreads, "HybComb::apply_async");
+    SyncStats& st = stats_[tid].s;
+    AsyncSt& a = async_[tid];
+    explore_point(ctx, "hyb.async_issue");
+    const std::uint64_t tag = a.next_tag;
+    Node* reg = nullptr;
+    if (try_register_send(ctx, fn, arg, tag, st, &reg)) {
+      a.next_tag = a.next_tag == kAsyncTagMask ? 1 : a.next_tag + 1;
+      ++st.async_issued;
+      ++a.outstanding;
+      return Ticket{tag, 0, 0};
+    }
+    ++st.async_issued;
+    return Ticket{0, combine_section(ctx, fn, arg, st), 0};
+  }
 
-    // Lines 25-28: drain the message queue while it is non-empty.
-    if (opts_.eager_drain) {
-      while (!ctx.queue_empty()) {
-        serve_one(ctx, st);
-        ++ops_completed;
+  /// Reaps one ticket, returning its CS result. Must run on the issuing
+  /// thread. Replies for other outstanding tickets arriving first are
+  /// staged in the context (credits were already released combiner-side at
+  /// serve time).
+  std::uint64_t wait(Ctx& ctx, const Ticket& t) {
+    const Tid tid = ctx.tid();
+    check_tid(tid, kMaxThreads, "HybComb::wait");
+    AsyncSt& a = async_[tid];
+    if (t.tag == 0) return t.value;  // completed inline (combiner path)
+    explore_point(ctx, "hyb.reap");
+    std::uint64_t val;
+    if (ctx.take_staged_reply(t.tag, &val)) {
+      --a.outstanding;
+      return val;
+    }
+    for (;;) {
+      std::uint64_t m[3];
+      ctx.receive_async(m, 3);
+      // Only replies can land here: requests go to registered combiners,
+      // and a thread inside wait() is never one.
+      assert(is_reply_frame(m[0]));
+      const std::uint64_t got = reply_tag(m[0]);
+      if (got == t.tag) {
+        --a.outstanding;
+        return m[1];
       }
+      ctx.stage_reply(got, m[1]);
     }
-    if (fixed_) {
-      // Fig. 4a variant: equivalent to MAX_OPS = infinity; never depart.
-      for (;;) {
-        serve_one(ctx, st);
+  }
+
+  /// Reaps every outstanding ticket of the calling thread, discarding the
+  /// results.
+  void wait_all(Ctx& ctx) {
+    const Tid tid = ctx.tid();
+    check_tid(tid, kMaxThreads, "HybComb::wait_all");
+    AsyncSt& a = async_[tid];
+    explore_point(ctx, "hyb.reap");
+    std::uint64_t tag, val;
+    while (a.outstanding > 0) {
+      if (ctx.take_any_staged_reply(&tag, &val)) {
+        --a.outstanding;
+        continue;
       }
+      std::uint64_t m[3];
+      ctx.receive_async(m, 3);
+      assert(is_reply_frame(m[0]));
+      --a.outstanding;
     }
-
-    // Line 30: close combining for new requests.
-    explore_point(ctx, "hyb.close");
-    std::uint64_t total_ops = ctx.exchange(&my_node->n_ops, max_ops_);
-    if (total_ops > max_ops_) total_ops = max_ops_;  // lines 31-32
-
-    // Lines 34-37: serve the remaining registered requests.
-    while (ops_completed < total_ops) {
-      serve_one(ctx, st);
-      ++ops_completed;
-    }
-
-    // Lines 39-42: exchange our node with the spare, inform the next
-    // combiner, and return. These run in mutual exclusion (footnote 3), so
-    // plain read+write stands in for the paper's SWAP.
-    explore_point(ctx, "hyb.depart");
-    Node* spare = rt::from_word<Node>(ctx.load(&departed_));
-    ctx.store(&departed_, rt::to_word(my_node));
-    Node* old_node = my_node;
-    my_node = spare;
-    my_[tid].node = my_node;
-    ctx.store(&my_node->combining_done, std::uint64_t{0});   // line 40
-    ctx.store(&my_node->thread_id, std::uint64_t{tid});      // line 41
-    ctx.store(&old_node->combining_done, std::uint64_t{1});  // line 42
-    return retval;  // line 43
   }
 
   SyncStats& stats(Tid t) {
@@ -260,23 +263,191 @@ class HybComb {
     }
   }
 
-  void serve_one(Ctx& ctx, SyncStats& st) {
-    std::uint64_t m[3];  // {sender_id, fptr, fargs} — lines 26/35
+  struct alignas(rt::kCacheLine) AsyncSt {
+    std::uint64_t next_tag = 1;
+    std::uint32_t outstanding = 0;  ///< issued minus reaped
+  };
+
+  /// Registration phase (Algorithm 1 lines 8-21). Returns true when the
+  /// request registered with a combiner and was sent (`*out_reg` is the
+  /// node whose credit pool it drew from); false when the caller became the
+  /// next combiner (run combine_section()). `tag` == 0 marks a synchronous
+  /// request.
+  bool try_register_send(Ctx& ctx, Fn fn, std::uint64_t arg,
+                         std::uint64_t tag, SyncStats& st, Node** out_reg) {
+    const Tid tid = ctx.tid();
+    for (;;) {  // line 8
+      explore_point(ctx, "hyb.register");
+      Node* last_reg = rt::from_word<Node>(ctx.load(&lrc_));  // line 9
+      // Line 11: try to register with the last registered combiner.
+      if (ctx.faa(&last_reg->n_ops, 1) < max_ops_) {
+        // Lines 12-13: success; send the request.
+        obs::Span<Ctx> req(ctx, "hyb.request");
+        const Tid comb =
+            static_cast<Tid>(ctx.load(&last_reg->thread_id));
+        if (opts_.max_inflight) {
+          if (tag == 0) {
+            acquire_credit(ctx, last_reg, st);
+          } else {
+            acquire_credit_draining(ctx, last_reg, st, async_[tid]);
+          }
+        }
+        explore_point(ctx, "hyb.pre_send");
+        ctx.send(comb, {pack_request_id(tid, tag), rt::to_word(fn), arg});
+        ++st.ops;
+        *out_reg = last_reg;
+        return true;
+      }
+      // Lines 16-21: failure; try to register as the next combiner.
+      Node* my_node = my_[tid].node;
+      if (opts_.swap_registration) {
+        // Ablation: SWAP always succeeds; combiners form a CLH-style chain
+        // (every candidate becomes a combiner, possibly for its own request
+        // only).
+        last_reg = rt::from_word<Node>(
+            ctx.exchange(&lrc_, rt::to_word(my_node)));
+        ctx.store(&my_node->n_ops, std::uint64_t{0});
+        spin_combining_done(ctx, last_reg, st);
+        return false;
+      }
+      ++st.cas_attempts;
+      if (ctx.cas(&lrc_, rt::to_word(last_reg), rt::to_word(my_node))) {
+        ctx.store(&my_node->n_ops, std::uint64_t{0});  // line 18
+        spin_combining_done(ctx, last_reg, st);        // lines 19-20
+        return false;  // line 21
+      }
+      ++st.cas_failures;
+    }
+  }
+
+  /// Combiner section (Algorithm 1 lines 23-43, in mutual exclusion): run
+  /// the own op, drain/serve registered requests, depart.
+  std::uint64_t combine_section(Ctx& ctx, Fn fn, std::uint64_t arg,
+                                SyncStats& st) {
+    const Tid tid = ctx.tid();
+    Node* my_node = my_[tid].node;
+    std::uint64_t ops_completed = 0;  // line 7
+    obs::Span<Ctx> combine(ctx, "hyb.combine");
+    ++st.tenures;
+    const std::uint64_t retval = fn(ctx, obj_, arg);  // line 23
+    ++st.ops;
+    ++st.served;
+
+    // Lines 25-28: drain the message queue while it is non-empty. Stray
+    // reply frames (serve_frame() returning false) do not count toward
+    // ops_completed — only registered requests do.
+    if (opts_.eager_drain) {
+      while (!ctx.queue_empty()) {
+        if (serve_frame(ctx, st)) ++ops_completed;
+      }
+    }
+    if (fixed_) {
+      // Fig. 4a variant: equivalent to MAX_OPS = infinity; never depart.
+      for (;;) {
+        serve_frame(ctx, st);
+      }
+    }
+
+    // Line 30: close combining for new requests.
+    explore_point(ctx, "hyb.close");
+    std::uint64_t total_ops = ctx.exchange(&my_node->n_ops, max_ops_);
+    if (total_ops > max_ops_) total_ops = max_ops_;  // lines 31-32
+
+    // Lines 34-37: serve the remaining registered requests.
+    while (ops_completed < total_ops) {
+      if (serve_frame(ctx, st)) ++ops_completed;
+    }
+
+    // Lines 39-42: exchange our node with the spare, inform the next
+    // combiner, and return. These run in mutual exclusion (footnote 3), so
+    // plain read+write stands in for the paper's SWAP.
+    explore_point(ctx, "hyb.depart");
+    Node* spare = rt::from_word<Node>(ctx.load(&departed_));
+    ctx.store(&departed_, rt::to_word(my_node));
+    Node* old_node = my_node;
+    my_node = spare;
+    my_[tid].node = my_node;
+    ctx.store(&my_node->combining_done, std::uint64_t{0});   // line 40
+    ctx.store(&my_node->thread_id, std::uint64_t{tid});      // line 41
+    ctx.store(&old_node->combining_done, std::uint64_t{1});  // line 42
+    return retval;  // line 43
+  }
+
+  /// Pops exactly one 3-word frame from the combiner's queue. Request
+  /// frames run their CS and are answered (returns true); stray reply
+  /// frames — responses to the combiner's own still-outstanding async
+  /// tickets, possible because a thread with pending tickets can become a
+  /// combiner — are staged for their wait() and return false. The demux is
+  /// safe because async replies are padded to the same 3-word framing as
+  /// requests and marked with bit 63.
+  bool serve_frame(Ctx& ctx, SyncStats& st) {
+    std::uint64_t m[3];  // {sender_id|tag, fptr, fargs} — lines 26/35
     ctx.receive(m, 3);
+    if (is_reply_frame(m[0])) {
+      ctx.stage_reply(reply_tag(m[0]), m[1]);
+      return false;
+    }
+    // The request no longer occupies this combiner's hardware queue:
+    // release its credit. Every request frame served in a tenure drew from
+    // the serving thread's current node (registration with it closes before
+    // the node is recycled, and its registered ops are all served before
+    // depart), so the release node is simply my_[tid].node.
+    if (opts_.max_inflight) {
+      ctx.faa(&my_[ctx.tid()].node->inflight, ~std::uint64_t{0});
+    }
     obs::Span<Ctx> cs(ctx, "hyb.cs");
+    const Tid dst = static_cast<Tid>(request_tid(m[0]));
+    const std::uint64_t tag = request_tag(m[0]);
     if (opts_.bug_drop_every != 0) [[unlikely]] {
       if (++bug_serves_ % opts_.bug_drop_every == 0) {
         // Seeded bug (Options::bug_drop_every): skip the CS, reply stale.
-        ctx.send(static_cast<Tid>(m[0]), {bug_last_ret_});
+        reply(ctx, dst, tag, bug_last_ret_);
         ++st.served;
-        return;
+        return true;
       }
     }
     Fn f = rt::from_word<std::remove_pointer_t<Fn>>(m[1]);
     const std::uint64_t ret = f(ctx, obj_, m[2]);
     bug_last_ret_ = ret;
-    ctx.send(static_cast<Tid>(m[0]), {ret});  // lines 27/36
+    reply(ctx, dst, tag, ret);  // lines 27/36
     ++st.served;
+    return true;
+  }
+
+  /// Async replies are padded to 3 words so a combiner's queue keeps
+  /// uniform framing (see serve_frame()).
+  void reply(Ctx& ctx, Tid dst, std::uint64_t tag, std::uint64_t ret) {
+    if (tag != 0) {
+      ctx.send(dst, {kAsyncReplyMark | tag, ret, 0});
+    } else {
+      ctx.send(dst, {ret});
+    }
+  }
+
+  /// Async-issue credit acquire. Liveness needs no drain here — credits
+  /// release through the combiner's own serving progress — but replies that
+  /// already arrived for this thread's outstanding tickets are moved to the
+  /// stash anyway, so an issuer parked on a credit never lets its hardware
+  /// queue fill up with undrained replies (which would eventually block the
+  /// combiner's reply sends on small buffers).
+  void acquire_credit_draining(Ctx& ctx, Node* node, SyncStats& st,
+                               AsyncSt& a) {
+    for (;;) {
+      const std::uint64_t cur = ctx.load(&node->inflight);
+      if (cur < opts_.max_inflight &&
+          ctx.cas(&node->inflight, cur, cur + 1)) {
+        return;
+      }
+      ++st.throttle_waits;
+      if (a.outstanding > 0 && !ctx.queue_empty()) {
+        std::uint64_t m[3];
+        ctx.receive_async(m, 3);
+        assert(is_reply_frame(m[0]));
+        ctx.stage_reply(reply_tag(m[0]), m[1]);
+      } else {
+        ctx.cpu_relax();
+      }
+    }
   }
 
   void* obj_;
@@ -288,6 +459,7 @@ class HybComb {
   alignas(rt::kCacheLine) Word departed_{0};   ///< departed_combiner
   PerThread my_[kMaxThreads];
   PaddedStats stats_[kMaxThreads];
+  AsyncSt async_[kMaxThreads];
   // Seeded-bug state (Options::bug_drop_every); only touched inside the
   // combiner section, i.e. in mutual exclusion.
   std::uint64_t bug_serves_ = 0;

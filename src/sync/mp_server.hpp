@@ -38,9 +38,15 @@ class MpServer {
 
   /// Client side: executes `fn(obj, arg)` in mutual exclusion on the server
   /// and returns its result. Must not be called from the server thread.
+  /// With async tickets outstanding the call is routed through the async
+  /// path: a bare 1-word response would misframe behind the pending tagged
+  /// reply pairs (docs/MODEL.md §9).
   std::uint64_t apply(Ctx& ctx, Fn fn, std::uint64_t arg) {
     const Tid tid = ctx.tid();
     check_tid(tid, kMaxThreads, "MpServer::apply");
+    if (async_[tid].outstanding > 0) {
+      return wait(ctx, apply_async(ctx, fn, arg));
+    }
     obs::Span<Ctx> span(ctx, "mp.request");
     explore_point(ctx, "mp.pre_send");
     if (max_inflight_ == 0) {
@@ -52,6 +58,73 @@ class MpServer {
     const std::uint64_t ret = ctx.receive1();
     ctx.faa(&inflight_, ~std::uint64_t{0});  // release (+(-1))
     return ret;
+  }
+
+  /// Issues `fn(obj, arg)` without blocking on the response: the request is
+  /// tagged and the matching 2-word reply is claimed later by wait() /
+  /// wait_all(). A pending ticket holds its in-flight credit until the
+  /// reply reaches this client (docs/MODEL.md §9).
+  Ticket apply_async(Ctx& ctx, Fn fn, std::uint64_t arg) {
+    const Tid tid = ctx.tid();
+    check_tid(tid, kMaxThreads, "MpServer::apply_async");
+    SyncStats& st = stats_[tid].s;
+    AsyncSt& a = async_[tid];
+    obs::Span<Ctx> span(ctx, "mp.request");
+    explore_point(ctx, "mp.async_issue");
+    if (max_inflight_ != 0) acquire_credit_draining(ctx, st, a);
+    const std::uint64_t tag = a.next_tag;
+    a.next_tag = a.next_tag == kAsyncTagMask ? 1 : a.next_tag + 1;
+    ctx.send(server_, {pack_request_id(tid, tag), rt::to_word(fn), arg});
+    ++st.async_issued;
+    ++a.outstanding;
+    return Ticket{tag, 0, 0};
+  }
+
+  /// Reaps one ticket, returning its CS result. Must run on the issuing
+  /// thread. Replies for other outstanding tickets arriving first are
+  /// staged in the context for their own wait().
+  std::uint64_t wait(Ctx& ctx, const Ticket& t) {
+    const Tid tid = ctx.tid();
+    check_tid(tid, kMaxThreads, "MpServer::wait");
+    AsyncSt& a = async_[tid];
+    if (t.tag == 0) return t.value;  // completed inline
+    explore_point(ctx, "mp.reap");
+    std::uint64_t val;
+    if (ctx.take_staged_reply(t.tag, &val)) {
+      --a.outstanding;
+      return val;
+    }
+    for (;;) {
+      std::uint64_t m[2];
+      ctx.receive_async(m, 2);
+      if (max_inflight_ != 0) ctx.faa(&inflight_, ~std::uint64_t{0});
+      const std::uint64_t got = reply_tag(m[0]);
+      if (got == t.tag) {
+        --a.outstanding;
+        return m[1];
+      }
+      ctx.stage_reply(got, m[1]);
+    }
+  }
+
+  /// Reaps every outstanding ticket of the calling thread, discarding the
+  /// results (use wait() per ticket when the values matter).
+  void wait_all(Ctx& ctx) {
+    const Tid tid = ctx.tid();
+    check_tid(tid, kMaxThreads, "MpServer::wait_all");
+    AsyncSt& a = async_[tid];
+    explore_point(ctx, "mp.reap");
+    std::uint64_t tag, val;
+    while (a.outstanding > 0) {
+      if (ctx.take_any_staged_reply(&tag, &val)) {
+        --a.outstanding;
+        continue;
+      }
+      std::uint64_t m[2];
+      ctx.receive_async(m, 2);
+      if (max_inflight_ != 0) ctx.faa(&inflight_, ~std::uint64_t{0});
+      --a.outstanding;
+    }
   }
 
   /// Server side: serves requests until a stop request arrives (see
@@ -68,7 +141,12 @@ class MpServer {
       obs::Span<Ctx> cs(ctx, "mp.cs");
       Fn fn = rt::from_word<std::remove_pointer_t<Fn>>(m[1]);
       const std::uint64_t ret = fn(ctx, obj_, m[2]);
-      ctx.send(static_cast<Tid>(m[0]), {ret});
+      const std::uint64_t tag = request_tag(m[0]);
+      if (tag != 0) {
+        ctx.send(request_tid(m[0]), {kAsyncReplyMark | tag, ret});
+      } else {
+        ctx.send(request_tid(m[0]), {ret});
+      }
       ++st.served;
     }
   }
@@ -87,6 +165,10 @@ class MpServer {
   struct alignas(rt::kCacheLine) PaddedStats {
     SyncStats s;
   };
+  struct alignas(rt::kCacheLine) AsyncSt {
+    std::uint64_t next_tag = 1;
+    std::uint32_t outstanding = 0;  ///< issued minus reaped
+  };
 
   /// Spin (through shared memory, so no message-buffer pressure) until an
   /// in-flight credit is free, then claim it with CAS.
@@ -99,11 +181,33 @@ class MpServer {
     }
   }
 
+  /// Async-issue variant: while spinning for a credit, drain replies that
+  /// already arrived for this thread's own outstanding tickets into the
+  /// context stash (each arrival releases its credit). Without the drain a
+  /// thread whose unreaped tickets hold every credit would spin forever —
+  /// the self-deadlock discussed in docs/MODEL.md §9.
+  void acquire_credit_draining(Ctx& ctx, SyncStats& st, AsyncSt& a) {
+    for (;;) {
+      const std::uint64_t cur = ctx.load(&inflight_);
+      if (cur < max_inflight_ && ctx.cas(&inflight_, cur, cur + 1)) return;
+      ++st.throttle_waits;
+      if (a.outstanding > 0 && !ctx.queue_empty()) {
+        std::uint64_t m[2];
+        ctx.receive_async(m, 2);
+        ctx.stage_reply(reply_tag(m[0]), m[1]);
+        ctx.faa(&inflight_, ~std::uint64_t{0});
+      } else {
+        ctx.cpu_relax();
+      }
+    }
+  }
+
   Tid server_;
   void* obj_;
   std::uint64_t max_inflight_;
   alignas(rt::kCacheLine) Word inflight_{0};
   PaddedStats stats_[kMaxThreads];
+  AsyncSt async_[kMaxThreads];
 };
 
 }  // namespace hmps::sync

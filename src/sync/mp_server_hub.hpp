@@ -9,12 +9,19 @@
 // contended concurrent objects": k objects share one server core, trading
 // per-object throughput for core economy (see the
 // abl_server_consolidation bench).
+//
+// The client path carries the same Section 6 overflow guard, capacity
+// checks and obs::Span / explore_point instrumentation as MpServer — a hub
+// with many clients can wedge the UDN exactly as bench/sec6_overflow
+// demonstrates for unguarded servers — plus the async ticket API of
+// docs/MODEL.md §9.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "runtime/context.hpp"
 #include "sync/cs.hpp"
 
@@ -27,7 +34,12 @@ class MpServerHub {
 
   static constexpr std::uint32_t kMaxThreads = 64;
 
-  explicit MpServerHub(Tid server_tid) : server_(server_tid) {}
+  /// `max_inflight` > 0 enables the Section 6 overflow guard: at most that
+  /// many requests outstanding across all clients and all registered
+  /// objects (one hardware buffer serves them all, so one credit pool
+  /// bounds it). 0 leaves the fast path untouched.
+  explicit MpServerHub(Tid server_tid, std::uint64_t max_inflight = 0)
+      : server_(server_tid), max_inflight_(max_inflight) {}
 
   /// Registers a critical-section body bound to an object; returns its
   /// opcode. All registrations must happen before serve() starts.
@@ -39,11 +51,91 @@ class MpServerHub {
   Tid server_tid() const { return server_; }
   std::size_t op_count() const { return ops_.size(); }
 
-  /// Client side: executes the CS registered under `opcode`.
+  /// Client side: executes the CS registered under `opcode`. With async
+  /// tickets outstanding the call is routed through the async path to keep
+  /// the reply stream framed (docs/MODEL.md §9).
   std::uint64_t apply(Ctx& ctx, std::uint64_t opcode, std::uint64_t arg) {
+    const Tid tid = ctx.tid();
+    check_tid(tid, kMaxThreads, "MpServerHub::apply");
     assert(opcode >= 1 && opcode <= ops_.size());
-    ctx.send(server_, {ctx.tid(), opcode, arg});
-    return ctx.receive1();
+    if (async_[tid].outstanding > 0) {
+      return wait(ctx, apply_async(ctx, opcode, arg));
+    }
+    obs::Span<Ctx> span(ctx, "hub.request");
+    explore_point(ctx, "hub.pre_send");
+    if (max_inflight_ == 0) {
+      ctx.send(server_, {tid, opcode, arg});
+      return ctx.receive1();
+    }
+    acquire_credit(ctx, stats_[tid].s);
+    ctx.send(server_, {tid, opcode, arg});
+    const std::uint64_t ret = ctx.receive1();
+    ctx.faa(&inflight_, ~std::uint64_t{0});  // release (+(-1))
+    return ret;
+  }
+
+  /// Issues the CS registered under `opcode` without blocking on the
+  /// response; reap with wait() / wait_all() on the issuing thread.
+  Ticket apply_async(Ctx& ctx, std::uint64_t opcode, std::uint64_t arg) {
+    const Tid tid = ctx.tid();
+    check_tid(tid, kMaxThreads, "MpServerHub::apply_async");
+    assert(opcode >= 1 && opcode <= ops_.size());
+    SyncStats& st = stats_[tid].s;
+    AsyncSt& a = async_[tid];
+    obs::Span<Ctx> span(ctx, "hub.request");
+    explore_point(ctx, "hub.async_issue");
+    if (max_inflight_ != 0) acquire_credit_draining(ctx, st, a);
+    const std::uint64_t tag = a.next_tag;
+    a.next_tag = a.next_tag == kAsyncTagMask ? 1 : a.next_tag + 1;
+    ctx.send(server_, {pack_request_id(tid, tag), opcode, arg});
+    ++st.async_issued;
+    ++a.outstanding;
+    return Ticket{tag, 0, 0};
+  }
+
+  /// Reaps one ticket, returning its CS result (issuing thread only).
+  std::uint64_t wait(Ctx& ctx, const Ticket& t) {
+    const Tid tid = ctx.tid();
+    check_tid(tid, kMaxThreads, "MpServerHub::wait");
+    AsyncSt& a = async_[tid];
+    if (t.tag == 0) return t.value;  // completed inline
+    explore_point(ctx, "hub.reap");
+    std::uint64_t val;
+    if (ctx.take_staged_reply(t.tag, &val)) {
+      --a.outstanding;
+      return val;
+    }
+    for (;;) {
+      std::uint64_t m[2];
+      ctx.receive_async(m, 2);
+      if (max_inflight_ != 0) ctx.faa(&inflight_, ~std::uint64_t{0});
+      const std::uint64_t got = reply_tag(m[0]);
+      if (got == t.tag) {
+        --a.outstanding;
+        return m[1];
+      }
+      ctx.stage_reply(got, m[1]);
+    }
+  }
+
+  /// Reaps every outstanding ticket of the calling thread, discarding the
+  /// results.
+  void wait_all(Ctx& ctx) {
+    const Tid tid = ctx.tid();
+    check_tid(tid, kMaxThreads, "MpServerHub::wait_all");
+    AsyncSt& a = async_[tid];
+    explore_point(ctx, "hub.reap");
+    std::uint64_t tag, val;
+    while (a.outstanding > 0) {
+      if (ctx.take_any_staged_reply(&tag, &val)) {
+        --a.outstanding;
+        continue;
+      }
+      std::uint64_t m[2];
+      ctx.receive_async(m, 2);
+      if (max_inflight_ != 0) ctx.faa(&inflight_, ~std::uint64_t{0});
+      --a.outstanding;
+    }
   }
 
   /// Server side: serves all registered objects until a stop request.
@@ -51,11 +143,19 @@ class MpServerHub {
     check_tid(ctx.tid(), kMaxThreads, "MpServerHub::serve");
     SyncStats& st = stats_[ctx.tid()].s;
     for (;;) {
+      explore_point(ctx, "hub.serve");
       std::uint64_t m[3];
       ctx.receive(m, 3);
       if (m[1] == kStopWord) return;
+      obs::Span<Ctx> cs(ctx, "hub.cs");
       const Entry& e = ops_[m[1] - 1];
-      ctx.send(static_cast<Tid>(m[0]), {e.fn(ctx, e.obj, m[2])});
+      const std::uint64_t ret = e.fn(ctx, e.obj, m[2]);
+      const std::uint64_t tag = request_tag(m[0]);
+      if (tag != 0) {
+        ctx.send(request_tid(m[0]), {kAsyncReplyMark | tag, ret});
+      } else {
+        ctx.send(request_tid(m[0]), {ret});
+      }
       ++st.served;
     }
   }
@@ -75,10 +175,47 @@ class MpServerHub {
   struct alignas(rt::kCacheLine) PaddedStats {
     SyncStats s;
   };
+  struct alignas(rt::kCacheLine) AsyncSt {
+    std::uint64_t next_tag = 1;
+    std::uint32_t outstanding = 0;  ///< issued minus reaped
+  };
+
+  /// Spin (through shared memory, so no message-buffer pressure) until an
+  /// in-flight credit is free, then claim it with CAS.
+  void acquire_credit(Ctx& ctx, SyncStats& st) {
+    for (;;) {
+      const std::uint64_t cur = ctx.load(&inflight_);
+      if (cur < max_inflight_ && ctx.cas(&inflight_, cur, cur + 1)) return;
+      ++st.throttle_waits;
+      ctx.cpu_relax();
+    }
+  }
+
+  /// Async-issue variant: drains this thread's already-arrived replies
+  /// while spinning so unreaped tickets can never hold every credit against
+  /// their own issuer (docs/MODEL.md §9).
+  void acquire_credit_draining(Ctx& ctx, SyncStats& st, AsyncSt& a) {
+    for (;;) {
+      const std::uint64_t cur = ctx.load(&inflight_);
+      if (cur < max_inflight_ && ctx.cas(&inflight_, cur, cur + 1)) return;
+      ++st.throttle_waits;
+      if (a.outstanding > 0 && !ctx.queue_empty()) {
+        std::uint64_t m[2];
+        ctx.receive_async(m, 2);
+        ctx.stage_reply(reply_tag(m[0]), m[1]);
+        ctx.faa(&inflight_, ~std::uint64_t{0});
+      } else {
+        ctx.cpu_relax();
+      }
+    }
+  }
 
   Tid server_;
+  std::uint64_t max_inflight_;
   std::vector<Entry> ops_;
+  alignas(rt::kCacheLine) Word inflight_{0};
   PaddedStats stats_[kMaxThreads];
+  AsyncSt async_[kMaxThreads];
 };
 
 }  // namespace hmps::sync

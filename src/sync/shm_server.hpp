@@ -34,20 +34,28 @@ class ShmServer {
 
   /// `max_clients` fixes the channel array size; client thread ids must be
   /// < max_clients (and <= kMaxThreads: the per-thread seq/stats slots are
-  /// fixed arrays).
-  ShmServer(Tid server_tid, void* obj, std::uint32_t max_clients = kMaxThreads)
-      : server_(server_tid), obj_(obj), nchan_(max_clients),
-        chans_(new Channel[max_clients]) {
+  /// fixed arrays). `async_depth` > 0 adds that many private async channel
+  /// lines per client (docs/MODEL.md §9): slot 0 stays the synchronous
+  /// channel with exactly the classic layout and scan order, slots
+  /// 1..async_depth carry apply_async() requests reaped out of order. The
+  /// server scans max_clients * (1 + async_depth) lines.
+  ShmServer(Tid server_tid, void* obj, std::uint32_t max_clients = kMaxThreads,
+            std::uint32_t async_depth = 0)
+      : server_(server_tid), obj_(obj), nclients_(max_clients),
+        depth_(async_depth > kMaxAsyncDepth ? kMaxAsyncDepth : async_depth),
+        nchan_(max_clients * (1 + depth_)),
+        chans_(new Channel[nchan_]) {
     check_tid(max_clients ? max_clients - 1 : 0, kMaxThreads,
               "ShmServer (max_clients)");
   }
 
   Tid server_tid() const { return server_; }
+  std::uint32_t async_depth() const { return depth_; }
 
   std::uint64_t apply(Ctx& ctx, Fn fn, std::uint64_t arg) {
-    check_tid(ctx.tid(), nchan_, "ShmServer::apply");
+    check_tid(ctx.tid(), nclients_, "ShmServer::apply");
     obs::Span<Ctx> span(ctx, "shm.request");
-    Channel& ch = chans_[ctx.tid()];
+    Channel& ch = chans_[chan_index(ctx.tid(), 0)];
     const std::uint64_t seq = ++my_seq_[ctx.tid()].v;
     ctx.store(&ch.arg, arg);
     ctx.store(&ch.fn, rt::to_word(fn));
@@ -55,6 +63,71 @@ class ShmServer {
     ctx.store(&ch.req_seq, seq);
     while (ctx.load(&ch.resp_seq) != seq) ctx.cpu_relax();
     return ctx.load(&ch.ret);
+  }
+
+  /// Publishes the request on a free private async slot and returns without
+  /// waiting for the server. When every slot is busy (or the server was
+  /// built with async_depth 0) the request completes synchronously and the
+  /// ticket returns inline — callers never block on slot availability.
+  Ticket apply_async(Ctx& ctx, Fn fn, std::uint64_t arg) {
+    const Tid tid = ctx.tid();
+    check_tid(tid, nclients_, "ShmServer::apply_async");
+    SyncStats& st = stats_[tid].s;
+    AsyncSt& a = async_[tid];
+    explore_point(ctx, "shm.async_issue");
+    std::uint32_t slot = 0;
+    for (std::uint32_t s = 1; s <= depth_; ++s) {
+      if ((a.busy_mask & (1u << s)) == 0) {
+        slot = s;
+        break;
+      }
+    }
+    if (slot == 0) {
+      // No free slot: degrade to the synchronous channel (slot 0, which
+      // async never occupies) and complete the ticket inline.
+      ++st.async_issued;
+      return Ticket{0, apply(ctx, fn, arg), 0};
+    }
+    obs::Span<Ctx> span(ctx, "shm.request");
+    Channel& ch = chans_[chan_index(tid, slot)];
+    const std::uint64_t seq = ctx.load(&ch.req_seq) + 1;
+    ctx.store(&ch.arg, arg);
+    ctx.store(&ch.fn, rt::to_word(fn));
+    explore_point(ctx, "shm.publish");
+    ctx.store(&ch.req_seq, seq);
+    a.busy_mask |= 1u << slot;
+    ++st.async_issued;
+    return Ticket{seq, 0, slot};
+  }
+
+  /// Reaps one ticket: spins on its slot's resp_seq, then frees the slot.
+  /// Must run on the issuing thread; tickets may be reaped in any order
+  /// (each has its own cache line, so there is nothing to demux).
+  std::uint64_t wait(Ctx& ctx, const Ticket& t) {
+    const Tid tid = ctx.tid();
+    check_tid(tid, nclients_, "ShmServer::wait");
+    if (t.tag == 0) return t.value;  // completed inline
+    explore_point(ctx, "shm.reap");
+    Channel& ch = chans_[chan_index(tid, t.aux)];
+    while (ctx.load(&ch.resp_seq) != t.tag) ctx.cpu_relax();
+    async_[tid].busy_mask &= ~(1u << t.aux);
+    return ctx.load(&ch.ret);
+  }
+
+  /// Reaps every outstanding ticket of the calling thread, discarding the
+  /// results.
+  void wait_all(Ctx& ctx) {
+    const Tid tid = ctx.tid();
+    check_tid(tid, nclients_, "ShmServer::wait_all");
+    AsyncSt& a = async_[tid];
+    explore_point(ctx, "shm.reap");
+    for (std::uint32_t s = 1; s <= depth_; ++s) {
+      if ((a.busy_mask & (1u << s)) == 0) continue;
+      Channel& ch = chans_[chan_index(tid, s)];
+      const std::uint64_t seq = ctx.load(&ch.req_seq);
+      while (ctx.load(&ch.resp_seq) != seq) ctx.cpu_relax();
+      a.busy_mask &= ~(1u << s);
+    }
   }
 
   /// Serves until a stop request is observed.
@@ -103,8 +176,8 @@ class ShmServer {
   /// Stops the server through the caller's own channel (blocking until the
   /// server acknowledges).
   void request_stop(Ctx& ctx) {
-    check_tid(ctx.tid(), nchan_, "ShmServer::request_stop");
-    Channel& ch = chans_[ctx.tid()];
+    check_tid(ctx.tid(), nclients_, "ShmServer::request_stop");
+    Channel& ch = chans_[chan_index(ctx.tid(), 0)];
     const std::uint64_t seq = ++my_seq_[ctx.tid()].v;
     ctx.store(&ch.fn, kStopWord);
     ctx.store(&ch.req_seq, seq);
@@ -133,13 +206,26 @@ class ShmServer {
   struct alignas(rt::kCacheLine) PaddedStats {
     SyncStats s;
   };
+  struct alignas(rt::kCacheLine) AsyncSt {
+    std::uint32_t busy_mask = 0;  ///< bit s set: slot s issued, not reaped
+  };
+
+  /// busy_mask is a 32-bit set with slot 0 reserved for the sync channel.
+  static constexpr std::uint32_t kMaxAsyncDepth = 31;
+
+  std::uint32_t chan_index(Tid client, std::uint32_t slot) const {
+    return client * (1 + depth_) + slot;
+  }
 
   Tid server_;
   void* obj_;
-  std::uint32_t nchan_;
+  std::uint32_t nclients_;
+  std::uint32_t depth_;
+  std::uint32_t nchan_;  ///< nclients_ * (1 + depth_) channel lines
   std::unique_ptr<Channel[]> chans_;
   PaddedSeq my_seq_[kMaxThreads];
   PaddedStats stats_[kMaxThreads];
+  AsyncSt async_[kMaxThreads];
 };
 
 }  // namespace hmps::sync

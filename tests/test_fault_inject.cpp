@@ -17,6 +17,7 @@
 #include "sync/ccsynch.hpp"
 #include "sync/hybcomb.hpp"
 #include "sync/mp_server.hpp"
+#include "sync/mp_server_hub.hpp"
 
 namespace hmps {
 namespace {
@@ -222,6 +223,57 @@ TEST(Sec6Overflow, MpServerCompletesUnderPressureAndPreemption) {
         mp.apply(ctx, ds::counter_inc<SimCtx>, 0);
       }
       if (++done == nclients) mp.request_stop(ctx);
+    });
+  }
+  ex.run_until(10'000'000);
+  EXPECT_EQ(c.value.load(), nclients * ops_each)
+      << "no request may be lost under faults";
+  EXPECT_GT(ex.machine().faults().counters().preemptions, 0u);
+}
+
+// MP-SERVER-HUB parity: the consolidated server must survive the same two
+// Section 6 adversaries as the single-object MpServer above.
+
+TEST(Sec6Overflow, HubThrottlingFixesClientOnServerCoreWedge) {
+  arch::MachineParams p = arch::MachineParams::tilegx_small(2, 1);
+  p.udn_buf_words = 6;
+  SimExecutor ex(p, 3);
+  ds::SeqCounter c;
+  sync::MpServerHub<SimCtx> hub(0, /*max_inflight=*/1);
+  const std::uint64_t op = hub.add_op(ds::counter_inc<SimCtx>, &c);
+  ex.add_thread([&](SimCtx& ctx) { hub.serve(ctx); });  // core 0
+  for (int i = 0; i < 3; ++i) {  // threads 1..3 land on cores 1, 0(!), 1
+    ex.add_thread([&](SimCtx& ctx) {
+      for (;;) hub.apply(ctx, op, 0);
+    });
+  }
+  ex.run_until(2'000'000);
+  EXPECT_GT(c.value.load(), 10'000u) << "throttling must prevent the wedge";
+  std::uint64_t throttle = 0;
+  for (rt::Tid t = 0; t < sync::MpServerHub<SimCtx>::kMaxThreads; ++t) {
+    throttle += hub.stats(t).throttle_waits;
+  }
+  EXPECT_GT(throttle, 0u) << "clients should have waited for credits";
+}
+
+TEST(Sec6Overflow, HubCompletesUnderPressureAndPreemption) {
+  arch::MachineParams p = arch::MachineParams::tilegx_small(4, 2);
+  p.udn_buf_words = 24;
+  SimExecutor ex(p, 41);
+  ex.machine().install_faults(pressure_plan(7));
+  ds::SeqCounter c;
+  sync::MpServerHub<SimCtx> hub(0, /*max_inflight=*/2);
+  const std::uint64_t op = hub.add_op(ds::counter_inc<SimCtx>, &c);
+  const std::uint32_t nclients = 12;
+  const std::uint64_t ops_each = 40;
+  std::uint32_t done = 0;
+  ex.add_thread([&](SimCtx& ctx) { hub.serve(ctx); });
+  for (std::uint32_t i = 0; i < nclients; ++i) {
+    ex.add_thread([&](SimCtx& ctx) {
+      for (std::uint64_t k = 0; k < ops_each; ++k) {
+        hub.apply(ctx, op, 0);
+      }
+      if (++done == nclients) hub.request_stop(ctx);
     });
   }
   ex.run_until(10'000'000);
