@@ -170,6 +170,10 @@ SelfCounters probe_counters() {
   arch::MachineParams p = arch::MachineParams::tilegx_small(4, 2);
   arch::MeshTopology topo(p);
   sim::Scheduler s;
+  // Pre-sized the way arch::Machine sizes its scheduler: the steady state
+  // must then never grow the event heap (asserted below via heap_grows).
+  s.reserve_events(static_cast<std::size_t>(topo.cores()) * 8 + 64,
+                   topo.cores() + 8);
   arch::UdnModel udn(p, topo, s);
   s.spawn([&] {
     std::uint64_t w[3] = {7, 8, 9};
@@ -238,6 +242,13 @@ int main(int argc, char** argv) {
         (unsigned long long)c.stack_pool_hits);
     if (c.spill_allocs != 0) {
       std::fprintf(stderr, "FAIL: hot-path callbacks spilled to the heap\n");
+      return 1;
+    }
+    if (c.heap_grows != 0) {
+      std::fprintf(stderr,
+                   "FAIL: pre-sized event heap grew %llu times in steady "
+                   "state\n",
+                   (unsigned long long)c.heap_grows);
       return 1;
     }
   }

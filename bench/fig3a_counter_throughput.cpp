@@ -12,6 +12,7 @@
 
 #include "harness/artifact.hpp"
 #include "harness/report.hpp"
+#include "harness/run_pool.hpp"
 #include "harness/workload.hpp"
 
 using namespace hmps;
@@ -31,23 +32,39 @@ int main(int argc, char** argv) {
   const Approach order[] = {Approach::kMpServer, Approach::kHybComb,
                             Approach::kShmServer, Approach::kCcSynch};
 
-  harness::Table table({"threads", "mp-server", "HybComb", "shm-server",
-                        "CC-Synch"});
+  harness::RunPool pool(art, args.jobs);
   for (std::uint32_t t : threads) {
     harness::RunCfg cfg;
     cfg.app_threads = t;
     cfg.seed = args.seed;
+    if (args.mesh_w) {  // e.g. --mesh 16x16: the 256-core profiling shape
+      cfg.machine.mesh_w = args.mesh_w;
+      cfg.machine.mesh_h = args.mesh_h;
+    }
     if (args.window) cfg.window = args.window;
     if (args.reps) cfg.reps = args.reps;
-    std::vector<std::string> row{std::to_string(t)};
     for (Approach a : order) {
-      cfg.obs = art.next_run(std::string(harness::approach_name(a)) + "/t" +
-                             std::to_string(t));
-      const auto r = harness::run_counter(cfg, a);
-      row.push_back(harness::fmt(r.mops));
+      pool.submit(std::string(harness::approach_name(a)) + "/t" +
+                      std::to_string(t),
+                  [cfg, a](const harness::RunObs& obs) {
+                    harness::RunCfg c = cfg;
+                    c.obs = obs;
+                    const auto r = harness::run_counter(c, a);
+                    std::fprintf(stderr, "[fig3a] %s done\n", obs.label);
+                    return r;
+                  });
     }
+  }
+  const auto& results = pool.drain();
+
+  harness::Table table({"threads", "mp-server", "HybComb", "shm-server",
+                        "CC-Synch"});
+  std::size_t idx = 0;
+  for (std::uint32_t t : threads) {
+    std::vector<std::string> row{std::to_string(t)};
+    for (std::size_t a = 0; a < 4; ++a)
+      row.push_back(harness::fmt(results[idx++].mops));
     table.add_row(row);
-    std::fprintf(stderr, "[fig3a] threads=%u done\n", t);
   }
   table.print("Fig. 3a: counter throughput (Mops/s) vs application threads");
   if (!args.csv.empty()) table.write_csv(args.csv);

@@ -12,6 +12,7 @@
 
 #include "harness/artifact.hpp"
 #include "harness/report.hpp"
+#include "harness/run_pool.hpp"
 #include "harness/workload.hpp"
 
 using namespace hmps;
@@ -31,29 +32,43 @@ int main(int argc, char** argv) {
   const Approach order[] = {Approach::kMpServer, Approach::kHybComb,
                             Approach::kShmServer, Approach::kCcSynch};
 
-  harness::Table table({"threads", "mp-server", "HybComb", "shm-server",
-                        "CC-Synch"});
-  harness::Table tails({"threads", "mp p50/p99", "Hyb p50/p99",
-                        "shm p50/p99", "CC p50/p99"});
+  harness::RunPool pool(art, args.jobs);
   for (std::uint32_t t : threads) {
     harness::RunCfg cfg;
     cfg.app_threads = t;
     cfg.seed = args.seed;
     if (args.window) cfg.window = args.window;
     if (args.reps) cfg.reps = args.reps;
+    for (Approach a : order) {
+      pool.submit(std::string(harness::approach_name(a)) + "/t" +
+                      std::to_string(t),
+                  [cfg, a](const harness::RunObs& obs) {
+                    harness::RunCfg c = cfg;
+                    c.obs = obs;
+                    const auto r = harness::run_counter(c, a);
+                    std::fprintf(stderr, "[fig3b] %s done\n", obs.label);
+                    return r;
+                  });
+    }
+  }
+  const auto& results = pool.drain();
+
+  harness::Table table({"threads", "mp-server", "HybComb", "shm-server",
+                        "CC-Synch"});
+  harness::Table tails({"threads", "mp p50/p99", "Hyb p50/p99",
+                        "shm p50/p99", "CC p50/p99"});
+  std::size_t idx = 0;
+  for (std::uint32_t t : threads) {
     std::vector<std::string> row{std::to_string(t)};
     std::vector<std::string> trow{std::to_string(t)};
-    for (Approach a : order) {
-      cfg.obs = art.next_run(std::string(harness::approach_name(a)) + "/t" +
-                             std::to_string(t));
-      const auto r = harness::run_counter(cfg, a);
+    for (std::size_t a = 0; a < 4; ++a) {
+      const auto& r = results[idx++];
       row.push_back(harness::fmt(r.lat_mean, 0));
       trow.push_back(harness::fmt(r.lat_p50, 0) + "/" +
                      harness::fmt(r.lat_p99, 0));
     }
     table.add_row(row);
     tails.add_row(trow);
-    std::fprintf(stderr, "[fig3b] threads=%u done\n", t);
   }
   table.print("Fig. 3b: counter request latency (cycles) vs threads");
   if (args.full) {

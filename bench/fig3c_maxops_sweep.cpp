@@ -11,6 +11,7 @@
 
 #include "harness/artifact.hpp"
 #include "harness/report.hpp"
+#include "harness/run_pool.hpp"
 #include "harness/workload.hpp"
 
 using namespace hmps;
@@ -26,33 +27,42 @@ int main(int argc, char** argv) {
                                              500, 1000, 2000, 5000}
                 : std::vector<std::uint64_t>{1, 10, 50, 200, 1000, 5000};
 
-  harness::Table table({"max_ops", "HybComb", "CC-Synch", "mp-server(ref)",
-                        "shm-server(ref)"});
-
   harness::RunCfg base;
   base.app_threads = nthreads;
   base.seed = args.seed;
   if (args.window) base.window = args.window;
   if (args.reps) base.reps = args.reps;
 
-  harness::RunCfg ref = base;
-  ref.obs = art.next_run("mp-server/ref");
-  const double mp_ref = harness::run_counter(ref, Approach::kMpServer).mops;
-  ref.obs = art.next_run("shm-server/ref");
-  const double shm_ref = harness::run_counter(ref, Approach::kShmServer).mops;
-
+  harness::RunPool pool(art, args.jobs);
+  auto submit = [&](std::string label, harness::RunCfg cfg, Approach a) {
+    pool.submit(std::move(label), [cfg, a](const harness::RunObs& obs) {
+      harness::RunCfg c = cfg;
+      c.obs = obs;
+      const auto r = harness::run_counter(c, a);
+      std::fprintf(stderr, "[fig3c] %s done\n", obs.label);
+      return r;
+    });
+  };
+  submit("mp-server/ref", base, Approach::kMpServer);
+  submit("shm-server/ref", base, Approach::kShmServer);
   for (std::uint64_t m : maxops) {
     harness::RunCfg cfg = base;
     cfg.max_ops = m;
-    cfg.obs = art.next_run("HybComb/max_ops" + std::to_string(m));
-    const auto hyb = harness::run_counter(cfg, Approach::kHybComb);
-    cfg.obs = art.next_run("CC-Synch/max_ops" + std::to_string(m));
-    const auto cc = harness::run_counter(cfg, Approach::kCcSynch);
-    table.add_row({std::to_string(m), harness::fmt(hyb.mops),
-                   harness::fmt(cc.mops), harness::fmt(mp_ref),
-                   harness::fmt(shm_ref)});
-    std::fprintf(stderr, "[fig3c] max_ops=%llu done\n",
-                 static_cast<unsigned long long>(m));
+    submit("HybComb/max_ops" + std::to_string(m), cfg, Approach::kHybComb);
+    submit("CC-Synch/max_ops" + std::to_string(m), cfg, Approach::kCcSynch);
+  }
+  const auto& results = pool.drain();
+  const double mp_ref = results[0].mops;
+  const double shm_ref = results[1].mops;
+
+  harness::Table table({"max_ops", "HybComb", "CC-Synch", "mp-server(ref)",
+                        "shm-server(ref)"});
+  std::size_t idx = 2;
+  for (std::uint64_t m : maxops) {
+    const double hyb = results[idx++].mops;
+    const double cc = results[idx++].mops;
+    table.add_row({std::to_string(m), harness::fmt(hyb), harness::fmt(cc),
+                   harness::fmt(mp_ref), harness::fmt(shm_ref)});
   }
   table.print("Fig. 3c: peak throughput (Mops/s) vs MAX_OPS, " +
               std::to_string(nthreads) + " threads");

@@ -19,6 +19,7 @@
 
 #include "harness/artifact.hpp"
 #include "harness/report.hpp"
+#include "harness/run_pool.hpp"
 #include "harness/workload.hpp"
 #include "obs/cycle_account.hpp"
 
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
                         "total(cyc/op)", "stall_share"});
   const Approach order[] = {Approach::kMpServer, Approach::kHybComb,
                             Approach::kShmServer, Approach::kCcSynch};
+  harness::RunPool pool(art, args.jobs);
   for (Approach a : order) {
     harness::RunCfg cfg;
     cfg.app_threads = args.threads ? args.threads : 35;
@@ -43,9 +45,20 @@ int main(int argc, char** argv) {
     if (args.reps) cfg.reps = args.reps;
     cfg.fixed_combiner =
         (a == Approach::kHybComb || a == Approach::kCcSynch);
-    cfg.obs = art.next_run(harness::approach_name(a));
-    const auto r = harness::run_counter(cfg, a);
+    pool.submit(harness::approach_name(a),
+                [cfg, a](const harness::RunObs& obs) {
+                  harness::RunCfg c = cfg;
+                  c.obs = obs;
+                  const auto r = harness::run_counter(c, a);
+                  std::fprintf(stderr, "[fig4a] %s done\n", obs.label);
+                  return r;
+                });
+  }
+  const auto& results = pool.drain();
 
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Approach a = order[i];
+    const auto& r = results[i];
     const CycleAccount& acc = r.serv_account;
     // The account's defining invariant: the buckets partition the covered
     // cycle span. A violation means a charging site lost or double-counted
@@ -76,7 +89,6 @@ int main(int argc, char** argv) {
                    harness::fmt(per_op(CycleAccount::kSpin), 1),
                    harness::fmt(stalled, 1), harness::fmt(total, 1),
                    harness::fmt(total > 0 ? stalled / total : 0, 2)});
-    std::fprintf(stderr, "[fig4a] %s done\n", harness::approach_name(a));
   }
   table.print("Fig. 4a: CPU stalls at the servicing thread (max load)");
   if (!args.csv.empty()) table.write_csv(args.csv);

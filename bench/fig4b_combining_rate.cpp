@@ -13,6 +13,7 @@
 
 #include "harness/artifact.hpp"
 #include "harness/report.hpp"
+#include "harness/run_pool.hpp"
 #include "harness/workload.hpp"
 
 using namespace hmps;
@@ -29,20 +30,36 @@ int main(int argc, char** argv) {
                 : std::vector<std::uint32_t>{2, 5, 10, 15, 20, 25, 30, 35};
   if (args.threads) threads = {args.threads};
 
-  harness::Table table({"threads", "HybComb", "CC-Synch"});
+  harness::RunPool pool(art, args.jobs);
   for (std::uint32_t t : threads) {
     harness::RunCfg cfg;
     cfg.app_threads = t;
     cfg.seed = args.seed;
     if (args.window) cfg.window = args.window;
     if (args.reps) cfg.reps = args.reps;
-    cfg.obs = art.next_run("HybComb/t" + std::to_string(t));
-    const auto hyb = harness::run_counter(cfg, Approach::kHybComb);
-    cfg.obs = art.next_run("CC-Synch/t" + std::to_string(t));
-    const auto cc = harness::run_counter(cfg, Approach::kCcSynch);
+    const Approach order[] = {Approach::kHybComb, Approach::kCcSynch};
+    const char* names[] = {"HybComb", "CC-Synch"};
+    for (std::size_t i = 0; i < 2; ++i) {
+      const Approach a = order[i];
+      pool.submit(std::string(names[i]) + "/t" + std::to_string(t),
+                  [cfg, a](const harness::RunObs& obs) {
+                    harness::RunCfg c = cfg;
+                    c.obs = obs;
+                    const auto r = harness::run_counter(c, a);
+                    std::fprintf(stderr, "[fig4b] %s done\n", obs.label);
+                    return r;
+                  });
+    }
+  }
+  const auto& results = pool.drain();
+
+  harness::Table table({"threads", "HybComb", "CC-Synch"});
+  std::size_t idx = 0;
+  for (std::uint32_t t : threads) {
+    const auto& hyb = results[idx++];
+    const auto& cc = results[idx++];
     table.add_row({std::to_string(t), harness::fmt(hyb.combining_rate, 1),
                    harness::fmt(cc.combining_rate, 1)});
-    std::fprintf(stderr, "[fig4b] threads=%u done\n", t);
   }
   table.print("Fig. 4b: actual combining rate vs threads (MAX_OPS=200)");
   if (!args.csv.empty()) table.write_csv(args.csv);

@@ -16,6 +16,7 @@
 
 #include "harness/artifact.hpp"
 #include "harness/report.hpp"
+#include "harness/run_pool.hpp"
 #include "harness/workload.hpp"
 
 using namespace hmps;
@@ -30,10 +31,10 @@ void sweep(const harness::BenchArgs& args, harness::RunArtifacts& art,
                                              14, 15}
                 : std::vector<std::uint64_t>{0, 2, 5, 10, 15};
 
-  harness::Table table({"cs_iters", "mp-server", "HybComb", "shm-server",
-                        "CC-Synch", "ideal"});
   const Approach order[] = {Approach::kMpServer, Approach::kHybComb,
                             Approach::kShmServer, Approach::kCcSynch};
+  harness::RunPool pool(art, args.jobs);
+  std::vector<harness::RunCfg> cfgs;
   for (std::uint64_t len : lens) {
     harness::RunCfg cfg;
     cfg.app_threads = args.threads ? args.threads : 35;
@@ -42,19 +43,32 @@ void sweep(const harness::BenchArgs& args, harness::RunArtifacts& art,
     cfg.machine.allow_prefetch = prefetch;
     if (args.window) cfg.window = args.window;
     if (args.reps) cfg.reps = args.reps;
-    std::vector<std::string> row{std::to_string(len)};
+    cfgs.push_back(cfg);
     for (Approach a : order) {
-      cfg.obs = art.next_run(std::string(harness::approach_name(a)) + "/cs" +
-                             std::to_string(len) +
-                             (prefetch ? "" : "/noprefetch"));
-      const auto r = harness::run_counter(cfg, a);
-      // Average CS execution time = aggregate cycles per op at saturation.
-      row.push_back(harness::fmt(r.cycles_per_op, 1));
+      pool.submit(std::string(harness::approach_name(a)) + "/cs" +
+                      std::to_string(len) + (prefetch ? "" : "/noprefetch"),
+                  [cfg, a](const harness::RunObs& obs) {
+                    harness::RunCfg c = cfg;
+                    c.obs = obs;
+                    const auto r = harness::run_counter(c, a);
+                    std::fprintf(stderr, "[fig4c] %s done\n", obs.label);
+                    return r;
+                  });
     }
-    row.push_back(harness::fmt(harness::ideal_cs_cycles(cfg), 1));
+  }
+  const auto& results = pool.drain();
+
+  harness::Table table({"cs_iters", "mp-server", "HybComb", "shm-server",
+                        "CC-Synch", "ideal"});
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    std::vector<std::string> row{std::to_string(lens[i])};
+    for (std::size_t a = 0; a < 4; ++a) {
+      // Average CS execution time = aggregate cycles per op at saturation.
+      row.push_back(harness::fmt(results[idx++].cycles_per_op, 1));
+    }
+    row.push_back(harness::fmt(harness::ideal_cs_cycles(cfgs[i]), 1));
     table.add_row(row);
-    std::fprintf(stderr, "[fig4c] cs_iters=%llu (prefetch=%d) done\n",
-                 static_cast<unsigned long long>(len), prefetch ? 1 : 0);
   }
   table.print(std::string("Fig. 4c: cycles per CS execution vs CS length") +
               (prefetch ? "" : " [no-prefetch ablation]"));

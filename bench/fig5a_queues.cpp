@@ -15,6 +15,7 @@
 
 #include "harness/artifact.hpp"
 #include "harness/report.hpp"
+#include "harness/run_pool.hpp"
 #include "harness/workload.hpp"
 
 using namespace hmps;
@@ -35,23 +36,35 @@ int main(int argc, char** argv) {
                              QueueImpl::kShm1, QueueImpl::kCc1,
                              QueueImpl::kLcrq, QueueImpl::kMp2};
 
-  harness::Table table({"clients", "mp-server-1", "HybComb-1", "shm-server-1",
-                        "CC-Synch-1", "LCRQ", "mp-server-2"});
+  harness::RunPool pool(art, args.jobs);
   for (std::uint32_t t : threads) {
     harness::RunCfg cfg;
     cfg.app_threads = t;
     cfg.seed = args.seed;
     if (args.window) cfg.window = args.window;
     if (args.reps) cfg.reps = args.reps;
-    std::vector<std::string> row{std::to_string(t)};
     for (QueueImpl q : order) {
-      cfg.obs = art.next_run(std::string(harness::queue_name(q)) + "/t" +
-                             std::to_string(t));
-      const auto r = harness::run_queue(cfg, q);
-      row.push_back(harness::fmt(r.mops));
+      pool.submit(std::string(harness::queue_name(q)) + "/t" +
+                      std::to_string(t),
+                  [cfg, q](const harness::RunObs& obs) {
+                    harness::RunCfg c = cfg;
+                    c.obs = obs;
+                    const auto r = harness::run_queue(c, q);
+                    std::fprintf(stderr, "[fig5a] %s done\n", obs.label);
+                    return r;
+                  });
     }
+  }
+  const auto& results = pool.drain();
+
+  harness::Table table({"clients", "mp-server-1", "HybComb-1", "shm-server-1",
+                        "CC-Synch-1", "LCRQ", "mp-server-2"});
+  std::size_t idx = 0;
+  for (std::uint32_t t : threads) {
+    std::vector<std::string> row{std::to_string(t)};
+    for (std::size_t q = 0; q < 6; ++q)
+      row.push_back(harness::fmt(results[idx++].mops));
     table.add_row(row);
-    std::fprintf(stderr, "[fig5a] clients=%u done\n", t);
   }
   table.print("Fig. 5a: queue throughput (Mops/s) under balanced load");
   if (!args.csv.empty()) table.write_csv(args.csv);

@@ -13,6 +13,7 @@
 
 #include "harness/artifact.hpp"
 #include "harness/report.hpp"
+#include "harness/run_pool.hpp"
 #include "harness/workload.hpp"
 
 using namespace hmps;
@@ -32,23 +33,35 @@ int main(int argc, char** argv) {
   const StackImpl order[] = {StackImpl::kMp, StackImpl::kHyb, StackImpl::kShm,
                              StackImpl::kCc, StackImpl::kTreiber};
 
-  harness::Table table({"clients", "mp-server", "HybComb", "shm-server",
-                        "CC-Synch", "Treiber"});
+  harness::RunPool pool(art, args.jobs);
   for (std::uint32_t t : threads) {
     harness::RunCfg cfg;
     cfg.app_threads = t;
     cfg.seed = args.seed;
     if (args.window) cfg.window = args.window;
     if (args.reps) cfg.reps = args.reps;
-    std::vector<std::string> row{std::to_string(t)};
     for (StackImpl s : order) {
-      cfg.obs = art.next_run(std::string(harness::stack_name(s)) + "/t" +
-                             std::to_string(t));
-      const auto r = harness::run_stack(cfg, s);
-      row.push_back(harness::fmt(r.mops));
+      pool.submit(std::string(harness::stack_name(s)) + "/t" +
+                      std::to_string(t),
+                  [cfg, s](const harness::RunObs& obs) {
+                    harness::RunCfg c = cfg;
+                    c.obs = obs;
+                    const auto r = harness::run_stack(c, s);
+                    std::fprintf(stderr, "[fig5b] %s done\n", obs.label);
+                    return r;
+                  });
     }
+  }
+  const auto& results = pool.drain();
+
+  harness::Table table({"clients", "mp-server", "HybComb", "shm-server",
+                        "CC-Synch", "Treiber"});
+  std::size_t idx = 0;
+  for (std::uint32_t t : threads) {
+    std::vector<std::string> row{std::to_string(t)};
+    for (std::size_t s = 0; s < 5; ++s)
+      row.push_back(harness::fmt(results[idx++].mops));
     table.add_row(row);
-    std::fprintf(stderr, "[fig5b] clients=%u done\n", t);
   }
   table.print("Fig. 5b: stack throughput (Mops/s) under balanced load");
   if (!args.csv.empty()) table.write_csv(args.csv);

@@ -14,6 +14,7 @@
 
 #include "harness/artifact.hpp"
 #include "harness/report.hpp"
+#include "harness/run_pool.hpp"
 #include "harness/workload.hpp"
 
 using namespace hmps;
@@ -33,10 +34,7 @@ int main(int argc, char** argv) {
   const std::uint32_t nthreads = args.threads ? args.threads : 1;
   const std::vector<std::uint32_t> depths{1, 2, 4, 8, 16};
 
-  harness::Table table({"batch", "mp-server", "HybComb", "shm-server",
-                        "mp-server-1 (queue)"});
-  double mp_sync = 0;
-  double mp_d4 = 0;
+  harness::RunPool pool(art, args.jobs);
   for (std::uint32_t d : depths) {
     harness::RunCfg cfg;
     cfg.app_threads = nthreads;
@@ -50,24 +48,48 @@ int main(int argc, char** argv) {
     // Depth 1 runs the untouched synchronous path as the baseline.
     cfg.async_batch = d >= 2 ? d : 0;
 
-    std::vector<std::string> row{d >= 2 ? std::to_string(d) : "1 (sync)"};
     const Approach order[] = {Approach::kMpServer, Approach::kHybComb,
                               Approach::kShmServer};
     for (Approach a : order) {
-      cfg.obs = art.next_run(std::string(harness::approach_name(a)) + "/d" +
-                             std::to_string(d));
-      const auto r = harness::run_counter(cfg, a);
+      pool.submit(std::string(harness::approach_name(a)) + "/d" +
+                      std::to_string(d),
+                  [cfg, a](const harness::RunObs& obs) {
+                    harness::RunCfg c = cfg;
+                    c.obs = obs;
+                    const auto r = harness::run_counter(c, a);
+                    std::fprintf(stderr, "[fig_async_batching] %s done\n",
+                                 obs.label);
+                    return r;
+                  });
+    }
+    pool.submit("mp-server-1/d" + std::to_string(d),
+                [cfg](const harness::RunObs& obs) {
+                  harness::RunCfg c = cfg;
+                  c.obs = obs;
+                  const auto r = harness::run_queue(c, QueueImpl::kMp1);
+                  std::fprintf(stderr, "[fig_async_batching] %s done\n",
+                               obs.label);
+                  return r;
+                });
+  }
+  const auto& results = pool.drain();
+
+  harness::Table table({"batch", "mp-server", "HybComb", "shm-server",
+                        "mp-server-1 (queue)"});
+  double mp_sync = 0;
+  double mp_d4 = 0;
+  std::size_t idx = 0;
+  for (std::uint32_t d : depths) {
+    std::vector<std::string> row{d >= 2 ? std::to_string(d) : "1 (sync)"};
+    for (std::size_t a = 0; a < 4; ++a) {
+      const auto& r = results[idx++];
       row.push_back(harness::fmt(r.mops));
-      if (a == Approach::kMpServer) {
+      if (a == 0) {
         if (d == 1) mp_sync = r.mops;
         if (d == 4) mp_d4 = r.mops;
       }
     }
-    cfg.obs = art.next_run("mp-server-1/d" + std::to_string(d));
-    const auto rq = harness::run_queue(cfg, QueueImpl::kMp1);
-    row.push_back(harness::fmt(rq.mops));
     table.add_row(row);
-    std::fprintf(stderr, "[fig_async_batching] depth=%u done\n", d);
   }
   table.print("Async batching: counter / MS-queue throughput (Mops/s, " +
               std::to_string(nthreads) + " clients) vs train depth");

@@ -22,6 +22,7 @@
 #include "ds/counter.hpp"
 #include "harness/artifact.hpp"
 #include "harness/report.hpp"
+#include "harness/run_pool.hpp"
 #include "harness/workload.hpp"
 #include "runtime/sim_executor.hpp"
 #include "sim/fault.hpp"
@@ -97,14 +98,26 @@ void fault_scenarios(harness::Table& table, const harness::BenchArgs& args,
       // records the detection.
       {harness::Approach::kHybComb, 8, 1'500},
   };
+  harness::RunPool pool(art, args.jobs);
   for (const Scenario& sc : scenarios) {
     harness::RunCfg c = cfg;
     c.max_inflight = sc.max_inflight;
     c.stall_timeout = sc.stall_timeout;
-    c.obs = art.next_run(std::string(harness::approach_name(sc.a)) +
-                         "/inflight" + std::to_string(sc.max_inflight) +
-                         "/stall" + std::to_string(sc.stall_timeout));
-    const harness::RunResult r = harness::run_counter(c, sc.a);
+    pool.submit(std::string(harness::approach_name(sc.a)) + "/inflight" +
+                    std::to_string(sc.max_inflight) + "/stall" +
+                    std::to_string(sc.stall_timeout),
+                [c, sc](const harness::RunObs& obs) {
+                  harness::RunCfg rc = c;
+                  rc.obs = obs;
+                  const auto r = harness::run_counter(rc, sc.a);
+                  std::fprintf(stderr, "[sec6] faults %s done\n", obs.label);
+                  return r;
+                });
+  }
+  const auto& results = pool.drain();
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Scenario& sc = scenarios[i];
+    const harness::RunResult& r = results[i];
     table.add_row({harness::approach_name(sc.a),
                    std::to_string(sc.max_inflight),
                    std::to_string(sc.stall_timeout), harness::fmt(r.mops),
@@ -113,9 +126,6 @@ void fault_scenarios(harness::Table& table, const harness::BenchArgs& args,
                    std::to_string(r.stall_timeouts),
                    std::to_string(r.preemptions),
                    r.total_ops > 0 ? "live" : "STALLED"});
-    std::fprintf(stderr, "[sec6] faults %s inflight=%llu done\n",
-                 harness::approach_name(sc.a),
-                 static_cast<unsigned long long>(sc.max_inflight));
   }
 }
 
@@ -143,8 +153,26 @@ int main(int argc, char** argv) {
   // credit-based throttling (max_inflight) makes the same machine live.
   const Case cases[] = {
       {35, 118, 0}, {35, 24, 0}, {63, 118, 0}, {63, 48, 0}, {63, 48, 8}};
-  for (const auto& cs : cases) {
-    const Outcome o = run(cs.threads, cs.buf, horizon, cs.inflight);
+  constexpr std::size_t kCases = sizeof(cases) / sizeof(cases[0]);
+  // The occupancy probes have no artifact output, so a bare TaskPool with
+  // indexed result slots is enough to run them concurrently.
+  Outcome outcomes[kCases];
+  {
+    harness::TaskPool tp(harness::resolve_jobs(args.jobs));
+    for (std::size_t i = 0; i < kCases; ++i) {
+      const Case cs = cases[i];
+      tp.submit([&outcomes, i, cs, horizon] {
+        outcomes[i] = run(cs.threads, cs.buf, horizon, cs.inflight);
+        std::fprintf(stderr, "[sec6] threads=%u buf=%u inflight=%llu done\n",
+                     cs.threads, cs.buf,
+                     static_cast<unsigned long long>(cs.inflight));
+      });
+    }
+    tp.wait();
+  }
+  for (std::size_t i = 0; i < kCases; ++i) {
+    const Case& cs = cases[i];
+    const Outcome& o = outcomes[i];
     const bool fits = o.peak <= cs.buf;
     const bool progressed = o.ops > 1000;
     table.add_row({std::to_string(cs.threads), std::to_string(cs.buf),
@@ -153,9 +181,6 @@ int main(int argc, char** argv) {
                    progressed ? (fits ? "no overflow, live"
                                       : "backpressure, live")
                               : "STALLED"});
-    std::fprintf(stderr, "[sec6] threads=%u buf=%u inflight=%llu done\n",
-                 cs.threads, cs.buf,
-                 static_cast<unsigned long long>(cs.inflight));
   }
   table.print("Section 6: message-queue occupancy and deadlock freedom");
   if (!args.csv.empty()) table.write_csv(args.csv);

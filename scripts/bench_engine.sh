@@ -49,10 +49,15 @@ done
 FIG3A="null"
 if [ "$SMOKE" = 0 ]; then
   T0=$(date +%s%N)
-  "$BUILD"/bench/fig3a_counter_throughput >/dev/null
+  "$BUILD"/bench/fig3a_counter_throughput --jobs 1 >/dev/null
   T1=$(date +%s%N)
   FIG3A=$(awk -v ns=$((T1 - T0)) 'BEGIN { printf "%.2f", ns / 1e9 }')
 fi
+
+# Steady-state heap growths of the pre-sized event queue (engine_micro's
+# probe workload; the binary itself exits 1 when this is nonzero).
+HEAP_GROWS=$(grep -o '"heap_grows": [0-9]*' "$TMP_JSON" | awk '{print $2}')
+HEAP_GROWS="${HEAP_GROWS:-null}"
 
 {
   echo '{'
@@ -62,6 +67,7 @@ fi
   echo '  "engine_micro":'
   sed 's/^/  /' "$TMP_JSON" | sed '$ s/$/,/'
   echo '  "fig3a_default_wall_seconds": '"$FIG3A"','
+  echo '  "steady_state_heap_grows": '"$HEAP_GROWS"','
   echo '  "seed_baseline": {'
   echo '    "commit": "dc9de22",'
   echo '    "flags": "g++ -std=c++20 -O2 -DNDEBUG",'

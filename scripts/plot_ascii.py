@@ -12,6 +12,15 @@ cycles split across the CycleAccount buckets.
 
     ./build/bench/fig4a_stall_breakdown --json 4a.json
     scripts/plot_ascii.py --stalls 4a.json
+
+With --throughput the input is a --json sweep artifact: each run's
+results.mops is plotted against config.app_threads, one series per label
+prefix (the text before "/" in the run label). Both artifact modes accept
+several files — the runs are concatenated, so artifacts merged from a
+parallel sweep (or written by separate bench invocations) plot together.
+
+    ./build/bench/fig3a_counter_throughput --jobs 8 --json 3a.json
+    scripts/plot_ascii.py --throughput 3a.json
 """
 import argparse
 import csv
@@ -81,16 +90,28 @@ def render(header, xs, series, width, height):
         print(f"   {MARKS[si % len(MARKS)]} = {name}")
 
 
-def render_stalls(path, width):
-    with open(path) as f:
-        doc = json.load(f)
-    runs = doc.get("runs", [])
+def load_runs(paths):
+    """Concatenates the runs of one or more hmps-metrics-v1 artifacts, in
+    the given file order (each artifact's own run order is its submission
+    order, so merged parallel sweeps read exactly like serial ones)."""
+    runs, benches = [], []
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        runs.extend(doc.get("runs", []))
+        if doc.get("bench"):
+            benches.append(doc["bench"])
+    return runs, "+".join(dict.fromkeys(benches)) or "?"
+
+
+def render_stalls(paths, width):
+    runs, bench = load_runs(paths)
     runs = [r for r in runs if r.get("cycle_accounts")]
     if not runs:
         print("no runs with cycle accounts in artifact")
         return
     labw = max(len(r.get("label", "?")) for r in runs)
-    print(f"stall breakdown at the servicing core — {doc.get('bench', '?')}")
+    print(f"stall breakdown at the servicing core — {bench}")
     for r in runs:
         acc = r["cycle_accounts"][0]  # core 0 = the servicing core
         active = sum(acc.get(k, 0) for k, _ in STALL_BUCKETS)
@@ -108,9 +129,33 @@ def render_stalls(path, width):
     print(f"   {legend}")
 
 
+def render_throughput(paths, width, height):
+    runs, bench = load_runs(paths)
+    points = {}  # series name -> {threads: mops}
+    for r in runs:
+        mops = r.get("results", {}).get("mops")
+        threads = r.get("config", {}).get("app_threads")
+        if mops is None or threads is None:
+            continue
+        name = r.get("label", "?").split("/")[0]
+        points.setdefault(name, {})[threads] = mops
+    if not points:
+        print("no runs with results.mops in artifact")
+        return
+    xs = sorted({t for s in points.values() for t in s})
+    header = ["threads"] + list(points)
+    series = [[points[name].get(t) for t in xs] for name in points]
+    print(f"throughput (Mops/s) vs application threads — {bench}")
+    render(header, xs, series, width, height)
+
+
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("input", help="bench CSV, or --json artifact with --stalls")
+    ap.add_argument(
+        "input",
+        nargs="+",
+        help="bench CSV, or --json artifact(s) with --stalls/--throughput",
+    )
     ap.add_argument("--width", type=int, default=70)
     ap.add_argument("--height", type=int, default=20)
     ap.add_argument(
@@ -118,11 +163,19 @@ def main():
         action="store_true",
         help="render the per-run cycle-account breakdown from a --json artifact",
     )
+    ap.add_argument(
+        "--throughput",
+        action="store_true",
+        help="render results.mops vs config.app_threads from a --json artifact",
+    )
     args = ap.parse_args()
     if args.stalls:
         render_stalls(args.input, args.width)
         return 0
-    header, xs, series = load(args.input)
+    if args.throughput:
+        render_throughput(args.input, args.width, args.height)
+        return 0
+    header, xs, series = load(args.input[0])
     render(header, xs, series, args.width, args.height)
     return 0
 

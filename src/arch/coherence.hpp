@@ -13,7 +13,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "arch/params.hpp"
 #include "arch/profiler.hpp"
@@ -41,7 +41,11 @@ struct AccessCost {
 class CoherenceModel {
  public:
   CoherenceModel(const MachineParams& p, const MeshTopology& topo)
-      : p_(p), topo_(topo) {}
+      : p_(p), topo_(topo) {
+    keys_.assign(kInitialCap, kEmptyKey);
+    slots_.resize(kInitialCap);
+    mask_ = kInitialCap - 1;
+  }
 
   /// Core `c` reads the line at address `addr` at time `now`.
   AccessCost read(Tid c, std::uint64_t addr, Cycle now);
@@ -104,7 +108,9 @@ class CoherenceModel {
   /// Drops all line state (fresh caches). Mostly for tests. First-touch
   /// home assignment restarts too, so a reset model replays identically.
   void reset_lines() {
-    lines_.clear();
+    keys_.assign(keys_.size(), kEmptyKey);
+    count_ = 0;
+    memo_key_ = kEmptyKey;
     next_line_id_ = 0;
     for (auto& c : ctrl_busy_until_) c = 0;
   }
@@ -129,14 +135,57 @@ class CoherenceModel {
   /// (deterministic) simulation itself, so this keeps the TILE-Gx
   /// hash-for-home spread while making coherence timing reproducible across
   /// processes.
+  ///
+  /// Storage is an insert-only open-addressing table (linear probing over a
+  /// flat key array, values in a parallel array) with a one-entry memo for
+  /// back-to-back accesses to the same line — this lookup runs once per
+  /// simulated memory operation, and the std::unordered_map it replaced was
+  /// one of the hottest functions of a full sweep. Lines are never erased
+  /// (only reset wholesale), so probing needs no tombstones, and returned
+  /// Line& references never outlive one access, so growth is safe.
   Line& line_at(std::uint64_t addr) {
-    auto [it, inserted] = lines_.try_emplace(line_of(addr));
-    if (inserted) {
-      it->second.home = topo_.home_tile(next_line_id_);
-      it->second.ctrl = topo_.home_ctrl(next_line_id_);
+    const std::uint64_t key = line_of(addr);
+    if (key == memo_key_) return slots_[memo_idx_];
+    std::size_t i = probe(key);
+    if (keys_[i] != key) {  // first touch
+      if ((count_ + 1) * 2 > keys_.size()) {
+        grow();
+        i = probe(key);
+      }
+      keys_[i] = key;
+      slots_[i] = Line{};
+      slots_[i].home = topo_.home_tile(next_line_id_);
+      slots_[i].ctrl = topo_.home_ctrl(next_line_id_);
       ++next_line_id_;
+      ++count_;
     }
-    return it->second;
+    memo_key_ = key;
+    memo_idx_ = i;
+    return slots_[i];
+  }
+
+  /// First slot holding `key`, or the empty slot where it would insert.
+  std::size_t probe(std::uint64_t key) const {
+    std::size_t i =
+        static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ULL) >> 32) & mask_;
+    while (keys_[i] != key && keys_[i] != kEmptyKey) i = (i + 1) & mask_;
+    return i;
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<Line> old_slots = std::move(slots_);
+    const std::size_t cap = old_keys.size() * 2;
+    keys_.assign(cap, kEmptyKey);
+    slots_.assign(cap, Line{});
+    mask_ = cap - 1;
+    memo_key_ = kEmptyKey;
+    for (std::size_t j = 0; j < old_keys.size(); ++j) {
+      if (old_keys[j] == kEmptyKey) continue;
+      const std::size_t i = probe(old_keys[j]);
+      keys_[i] = old_keys[j];
+      slots_[i] = old_slots[j];
+    }
   }
 
   /// Serializes on the line and returns the queueing delay.
@@ -148,10 +197,20 @@ class CoherenceModel {
 
   Cycle inval_cost(std::uint64_t sharers, Tid except);
 
+  static constexpr std::size_t kInitialCap = 1024;  ///< power of two
+  /// Host pointers are never within a line of the address-space top, so no
+  /// real line number collides with the empty-slot sentinel.
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
   const MachineParams& p_;
   const MeshTopology& topo_;
   CoherenceProfiler* prof_ = nullptr;
-  std::unordered_map<std::uint64_t, Line> lines_;
+  std::vector<std::uint64_t> keys_;  ///< open-addressing key array
+  std::vector<Line> slots_;          ///< values, parallel to keys_
+  std::size_t mask_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t memo_key_ = kEmptyKey;  ///< last line looked up
+  std::size_t memo_idx_ = 0;
   std::uint64_t next_line_id_ = 0;
   Cycle ctrl_busy_until_[8] = {};
   Counters counters_;

@@ -28,6 +28,13 @@ class Machine {
     // The tracer pointer is one branch on the UDN send path; flow events
     // are only recorded while the tracer is enabled.
     udn_.attach_tracer(&tracer_);
+    // Pre-size the event heap from the machine shape: each core keeps at
+    // most a few engine events in flight (a pending resume, a UDN delivery,
+    // a model timer), and same-cycle bursts are bounded by the core count.
+    // A pre-sized queue runs its steady state with zero heap growth
+    // (EngineCounters::heap_grows; asserted by bench/engine_micro.cpp).
+    const std::size_t n = static_cast<std::size_t>(topo_.cores()) * 8 + 64;
+    sched_.reserve_events(n, topo_.cores() + 8);
   }
 
   Machine(const Machine&) = delete;

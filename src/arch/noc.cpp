@@ -1,51 +1,97 @@
 #include "arch/noc.hpp"
 
+#include <mutex>
+#include <utility>
+
 namespace hmps::arch {
 
-NocModel::NocModel(const MachineParams& p, const MeshTopology& topo)
-    : p_(p), topo_(topo), w_(p.mesh_w), h_(p.mesh_h),
-      busy_(static_cast<std::size_t>(w_) * h_ * kDirs, 0) {}
+namespace {
 
-void NocModel::build_route_table() {
-  const std::size_t cores = topo_.cores();
-  route_offs_.reserve(cores * cores + 1);
-  route_offs_.push_back(0);
+/// Builds the XY route table for a w x h mesh: the per-hop link indices of
+/// every ordered (src, dst) pair, concatenated. Pure function of the mesh
+/// dimensions — no machine state involved.
+RouteTable build_route_table(std::uint32_t w, std::uint32_t h) {
+  RouteTable rt;
+  const std::size_t cores = static_cast<std::size_t>(w) * h;
+  auto link_index = [&](std::uint32_t x, std::uint32_t y, NocModel::Dir d) {
+    return (static_cast<std::size_t>(y) * w + x) * NocModel::kDirs + d;
+  };
+  rt.offs.reserve(cores * cores + 1);
+  rt.offs.push_back(0);
   for (std::size_t src = 0; src < cores; ++src) {
     for (std::size_t dst = 0; dst < cores; ++dst) {
-      Coord cur = topo_.coord(static_cast<Tid>(src));
-      const Coord end = topo_.coord(static_cast<Tid>(dst));
+      Coord cur{static_cast<std::int32_t>(src % w),
+                static_cast<std::int32_t>(src / w)};
+      const Coord end{static_cast<std::int32_t>(dst % w),
+                      static_cast<std::int32_t>(dst / w)};
       // Dimension-ordered: X first, then Y (TILE-Gx UDN routing).
       while (cur.x != end.x) {
         const bool east = cur.x < end.x;
-        route_links_.push_back(static_cast<std::uint32_t>(
+        rt.links.push_back(static_cast<std::uint32_t>(
             link_index(static_cast<std::uint32_t>(cur.x),
                        static_cast<std::uint32_t>(cur.y),
-                       east ? kEast : kWest)));
+                       east ? NocModel::kEast : NocModel::kWest)));
         cur.x += east ? 1 : -1;
       }
       while (cur.y != end.y) {
         const bool south = cur.y < end.y;
-        route_links_.push_back(static_cast<std::uint32_t>(
+        rt.links.push_back(static_cast<std::uint32_t>(
             link_index(static_cast<std::uint32_t>(cur.x),
                        static_cast<std::uint32_t>(cur.y),
-                       south ? kSouth : kNorth)));
+                       south ? NocModel::kSouth : NocModel::kNorth)));
         cur.y += south ? 1 : -1;
       }
-      route_offs_.push_back(static_cast<std::uint32_t>(route_links_.size()));
+      rt.offs.push_back(static_cast<std::uint32_t>(rt.links.size()));
     }
   }
+  return rt;
 }
+
+}  // namespace
+
+std::shared_ptr<const RouteTable> shared_route_table(std::uint32_t w,
+                                                     std::uint32_t h) {
+  // Process-wide registry keyed by mesh dimensions. Sweeps build thousands
+  // of short-lived machines — and the run pool builds them concurrently on
+  // several host threads — so the table for each mesh shape is derived once
+  // and shared immutably. The handful of distinct shapes a process ever
+  // sees (presets plus the fuzzer's <= 8x8 meshes) keeps the cache tiny.
+  static std::mutex mu;
+  static std::vector<std::pair<std::uint64_t, std::shared_ptr<const RouteTable>>>
+      cache;
+  const std::uint64_t key = (static_cast<std::uint64_t>(w) << 32) | h;
+  {
+    std::lock_guard<std::mutex> l(mu);
+    for (const auto& [k, t] : cache) {
+      if (k == key) return t;
+    }
+  }
+  // Build outside the lock: table construction for a big mesh is the slow
+  // part, and two threads racing to insert the same shape is harmless (one
+  // copy wins, the other is dropped).
+  auto table = std::make_shared<const RouteTable>(build_route_table(w, h));
+  std::lock_guard<std::mutex> l(mu);
+  for (const auto& [k, t] : cache) {
+    if (k == key) return t;
+  }
+  cache.emplace_back(key, table);
+  return table;
+}
+
+NocModel::NocModel(const MachineParams& p, const MeshTopology& topo)
+    : p_(p), topo_(topo), w_(p.mesh_w), h_(p.mesh_h),
+      busy_(static_cast<std::size_t>(w_) * h_ * kDirs, 0),
+      routes_(shared_route_table(w_, h_)) {}
 
 Cycle NocModel::route(Tid src, Tid dst, Cycle inject_time,
                       std::uint32_t words) {
-  if (route_offs_.empty()) build_route_table();
   ++counters_.messages;
   Cycle t = inject_time + p_.router;
   const Cycle hold = p_.udn_per_word_wire * static_cast<Cycle>(words);
 
   const std::size_t pair = static_cast<std::size_t>(src) * topo_.cores() + dst;
-  const std::uint32_t* link = route_links_.data() + route_offs_[pair];
-  const std::uint32_t* end = route_links_.data() + route_offs_[pair + 1];
+  const std::uint32_t* link = routes_->links.data() + routes_->offs[pair];
+  const std::uint32_t* end = routes_->links.data() + routes_->offs[pair + 1];
   const bool jitter = faults_ && faults_->active();
   for (; link != end; ++link) {
     Cycle& b = busy_[*link];

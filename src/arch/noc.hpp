@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "arch/params.hpp"
@@ -21,15 +22,27 @@ namespace hmps::arch {
 using sim::Cycle;
 using sim::Tid;
 
+/// Immutable XY route table of one mesh shape: pair (src, dst) occupies
+/// links[offs[src * cores + dst] .. offs[src * cores + dst + 1]).
+struct RouteTable {
+  std::vector<std::uint32_t> links;  ///< concatenated per-pair link indices
+  std::vector<std::uint32_t> offs;
+};
+
+/// The process-wide route table for a w x h mesh: built on first request,
+/// then shared (read-only) by every NocModel of that shape — including
+/// models running concurrently on run-pool workers. Thread-safe.
+std::shared_ptr<const RouteTable> shared_route_table(std::uint32_t w,
+                                                     std::uint32_t h);
+
 class NocModel {
  public:
   NocModel(const MachineParams& p, const MeshTopology& topo);
 
   /// Arrival time at `dst` of an `words`-word message injected at `src` at
-  /// `inject_time`, after queueing on every link of the XY route. Routes are
-  /// resolved through a precomputed hop table (built lazily on first use):
-  /// the per-hop link indices of every (src, dst) pair are derived once, so
-  /// the per-message loop touches only the link reservation array. The
+  /// `inject_time`, after queueing on every link of the XY route. Routes
+  /// come from the process-wide shared table of this mesh shape, so the
+  /// per-message loop touches only the link reservation array. The
   /// link_wait arithmetic is identical to walking the route coordinate by
   /// coordinate.
   Cycle route(Tid src, Tid dst, Cycle inject_time, std::uint32_t words);
@@ -46,29 +59,16 @@ class NocModel {
   const Counters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }
 
- private:
-  // Directions out of each router.
+  // Directions out of each router (public: the table builder uses them).
   enum Dir : std::uint32_t { kEast, kWest, kNorth, kSouth, kDirs };
 
-  std::size_t link_index(std::uint32_t x, std::uint32_t y, Dir d) const {
-    return (static_cast<std::size_t>(y) * w_ + x) * kDirs + d;
-  }
-
-  /// Fills route_offs_ / route_links_ with the XY route of every ordered
-  /// (src, dst) pair. Meshes are small (fuzzing caps at 8x8), so the full
-  /// table is a few hundred KiB at worst.
-  void build_route_table();
-
+ private:
   const MachineParams& p_;
   const MeshTopology& topo_;
   sim::FaultInjector* faults_ = nullptr;
   std::uint32_t w_, h_;
-  std::vector<Cycle> busy_;  ///< per-link reservation horizon
-  /// Concatenated per-pair link-index lists; pair (src, dst) occupies
-  /// route_links_[route_offs_[src * cores + dst] ..
-  ///              route_offs_[src * cores + dst + 1]).
-  std::vector<std::uint32_t> route_links_;
-  std::vector<std::uint32_t> route_offs_;
+  std::vector<Cycle> busy_;  ///< per-link reservation horizon (per-machine)
+  std::shared_ptr<const RouteTable> routes_;  ///< shared, immutable
   Counters counters_;
 };
 

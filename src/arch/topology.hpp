@@ -30,6 +30,13 @@ class MeshTopology {
       ctrls_.push_back(Coord{static_cast<std::int32_t>(w_) - 1, midy});
     for (std::uint32_t i = 2; i < p.n_mem_ctrls; ++i)
       ctrls_.push_back(Coord{static_cast<std::int32_t>(i % w_), 0});
+    // Tile coordinates, precomputed: wire() runs several times per remote
+    // memory access, and the div/mod pair per endpoint is measurable there.
+    coords_.reserve(static_cast<std::size_t>(w_) * h_);
+    for (std::uint32_t c = 0; c < w_ * h_; ++c) {
+      coords_.push_back(Coord{static_cast<std::int32_t>(c % w_),
+                              static_cast<std::int32_t>(c / w_)});
+    }
   }
 
   std::uint32_t cores() const { return w_ * h_; }
@@ -39,8 +46,7 @@ class MeshTopology {
 
   Coord coord(sim::Tid core) const {
     assert(core < cores());
-    return Coord{static_cast<std::int32_t>(core % w_),
-                 static_cast<std::int32_t>(core / w_)};
+    return coords_[core];
   }
 
   static std::uint32_t manhattan(Coord a, Coord b) {
@@ -82,6 +88,7 @@ class MeshTopology {
   std::uint32_t w_, h_;
   Cycle hop_, router_;
   std::vector<Coord> ctrls_;
+  std::vector<Coord> coords_;  ///< coord(c) for every core, precomputed
 };
 
 }  // namespace hmps::arch

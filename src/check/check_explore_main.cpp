@@ -16,6 +16,7 @@
 
 #include "check/explore.hpp"
 #include "check/repro.hpp"
+#include "harness/run_pool.hpp"
 
 namespace {
 
@@ -36,6 +37,10 @@ void usage() {
       "  --fuzz-machines       also draw random machine parameters\n"
       "  --inject-bug N        seed the test-only HybComb defect (drop every\n"
       "                        Nth combined request)\n"
+      "  --jobs N              scenario-execution workers (default: \n"
+      "                        $HMPS_JOBS, then hardware concurrency); the\n"
+      "                        failing scenario and shrunk repro are\n"
+      "                        identical for every N\n"
       "  --out FILE            write the shrunk repro as hmps-repro-v1\n"
       "  --replay FILE         re-run a repro and compare its violation\n"
       "  --selftest            seeded-bug find+shrink+replay end-to-end\n"
@@ -167,6 +172,7 @@ int do_selftest(double budget, std::uint64_t seed, bool verbose) {
 
 int main(int argc, char** argv) {
   check::ExploreCfg cfg;
+  cfg.jobs = harness::resolve_jobs(0);  // $HMPS_JOBS, then h/w concurrency
   std::string out_path;
   std::string replay_path;
   bool selftest = false;
@@ -213,6 +219,9 @@ int main(int argc, char** argv) {
         }
         cfg.objects.push_back(o);
       }
+    } else if (a == "--jobs") {
+      cfg.jobs = harness::resolve_jobs(
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10)));
     } else if (a == "--fuzz-machines") {
       cfg.fuzz_machines = true;
     } else if (a == "--inject-bug") {

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "check/gen.hpp"
+#include "harness/run_pool.hpp"
 #include "sim/rng.hpp"
 
 namespace hmps::check {
@@ -252,7 +254,30 @@ ExploreResult explore(const ExploreCfg& ecfg) {
         .count();
   };
 
-  for (std::uint64_t it = 0;; ++it) {
+  // Scenario execution runs on the task pool; drawing stays serial on this
+  // thread so the master RNG stream — and therefore scenario `it` ->
+  // Scenario mapping — is identical for every jobs value. With jobs <= 1
+  // the batch size is 1 and submit() runs inline: byte-for-byte the
+  // original serial loop. With workers, batches of 2*jobs scenarios run
+  // concurrently (sound for the same reason the run pool is: every
+  // record_history builds its own machine, and the fiber layer is
+  // thread_local — see harness/run_pool.hpp). Because iterations are
+  // assigned to batches in order and the first violation is picked by
+  // lowest iteration within the stopping batch, the failing scenario is
+  // the globally-earliest violating iteration regardless of jobs.
+  harness::TaskPool pool(ecfg.jobs);
+  const std::size_t batch_size =
+      pool.jobs() <= 1 ? 1 : static_cast<std::size_t>(pool.jobs()) * 2;
+
+  struct Slot {
+    Violation v;
+    std::uint64_t ops = 0;
+    sim::Cycle end_time = 0;
+    double seconds = 0;
+  };
+
+  std::uint64_t it = 0;
+  for (;;) {
     if (ecfg.max_schedules > 0 && out.schedules_run >= ecfg.max_schedules) {
       break;
     }
@@ -262,35 +287,70 @@ ExploreResult explore(const ExploreCfg& ecfg) {
       break;
     }
 
-    const Scenario s = draw_scenario(r, ecfg, cons, objs, it);
-    PctPerturber p(s.perturb);
-    const double run_t0 = elapsed();
-    const harness::RecordResult res = harness::record_history(
-        s.cfg, s.perturb.enabled() ? &p : nullptr);
-    ++out.schedules_run;
-    out.ops_checked += res.history.size();
-    const Violation v = check_history(s, res);
-    if (ecfg.verbose && elapsed() - run_t0 > 0.5) {
-      std::fprintf(stderr,
-                   "check: slow schedule (%.1fs): %s on %s, %u thr x %u ops, "
-                   "end_time %llu, faults %d\n",
-                   elapsed() - run_t0, harness::to_string(s.cfg.construction),
-                   harness::to_string(s.cfg.object), s.cfg.threads,
-                   s.cfg.ops_each,
-                   static_cast<unsigned long long>(res.end_time),
-                   s.cfg.faults.enabled() ? 1 : 0);
+    std::size_t n = batch_size;
+    if (ecfg.max_schedules > 0) {
+      const std::uint64_t left = ecfg.max_schedules - out.schedules_run;
+      if (left < n) n = static_cast<std::size_t>(left);
     }
-    if (ecfg.verbose && out.schedules_run % 200 == 0) {
-      std::fprintf(stderr, "check: %llu schedules, %.1fs elapsed\n",
-                   static_cast<unsigned long long>(out.schedules_run),
-                   elapsed());
+    std::vector<Scenario> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(draw_scenario(r, ecfg, cons, objs, it++));
     }
-    if (v.found) {
-      out.violation_found = true;
-      out.failing = s;
-      out.violation = v;
-      if (ecfg.stop_on_violation) break;
+    std::vector<Slot> slots(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      pool.submit([&batch, &slots, i] {
+        const Scenario& s = batch[i];
+        const auto rt0 = std::chrono::steady_clock::now();
+        PctPerturber p(s.perturb);
+        const harness::RecordResult res = harness::record_history(
+            s.cfg, s.perturb.enabled() ? &p : nullptr);
+        Slot& slot = slots[i];
+        slot.ops = res.history.size();
+        slot.end_time = res.end_time;
+        slot.v = check_history(s, res);
+        slot.seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - rt0)
+                           .count();
+      });
     }
+    pool.wait();
+
+    bool stop = false;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Scenario& s = batch[i];
+      const Slot& slot = slots[i];
+      ++out.schedules_run;
+      out.ops_checked += slot.ops;
+      if (ecfg.verbose && slot.seconds > 0.5) {
+        std::fprintf(stderr,
+                     "check: slow schedule (%.1fs): %s on %s, %u thr x %u "
+                     "ops, end_time %llu, faults %d\n",
+                     slot.seconds, harness::to_string(s.cfg.construction),
+                     harness::to_string(s.cfg.object), s.cfg.threads,
+                     s.cfg.ops_each,
+                     static_cast<unsigned long long>(slot.end_time),
+                     s.cfg.faults.enabled() ? 1 : 0);
+      }
+      if (ecfg.verbose && out.schedules_run % 200 == 0) {
+        std::fprintf(stderr, "check: %llu schedules, %.1fs elapsed\n",
+                     static_cast<unsigned long long>(out.schedules_run),
+                     elapsed());
+      }
+      if (slot.v.found) {
+        out.violation_found = true;
+        out.failing = s;
+        out.violation = slot.v;
+        if (ecfg.stop_on_violation) {
+          // Lowest iteration in the stopping batch: later violations in
+          // this batch are ignored exactly like the serial loop never
+          // reaching them.
+          stop = true;
+          break;
+        }
+      }
+    }
+    if (stop) break;
   }
 
   if (out.violation_found) {

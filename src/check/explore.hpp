@@ -48,6 +48,13 @@ struct ExploreCfg {
   std::uint64_t hyb_bug_drop_every = 0;
   bool stop_on_violation = true;
   bool verbose = false;
+  /// Scenario-execution workers (harness::TaskPool). Scenarios are drawn
+  /// serially from the master RNG and dispatched in iteration-indexed
+  /// batches; the reported failing scenario is always the lowest-iteration
+  /// violation, so the shrunk repro is identical for every jobs value.
+  /// schedules_run/ops_checked may differ (a batch runs to completion where
+  /// the serial loop stops mid-stream). 1 = the serial loop.
+  std::uint32_t jobs = 1;
 };
 
 struct ExploreResult {

@@ -77,9 +77,24 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       a.reps = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (std::strcmp(s, "--seed") == 0) {
       a.seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(s, "--jobs") == 0) {
+      a.jobs = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(s, "--mesh") == 0) {
+      const char* v = next();
+      char* end = nullptr;
+      a.mesh_w = static_cast<std::uint32_t>(std::strtoul(v, &end, 10));
+      a.mesh_h = (end && *end == 'x')
+                     ? static_cast<std::uint32_t>(
+                           std::strtoul(end + 1, nullptr, 10))
+                     : 0;
+      if (a.mesh_w == 0 || a.mesh_h == 0) {
+        std::cerr << "bad --mesh value (want WxH, e.g. 16x16)\n";
+        std::exit(2);
+      }
     } else if (std::strcmp(s, "--help") == 0) {
       std::cout << "flags: [--full] [--csv FILE] [--json FILE] [--trace FILE] "
-                   "[--threads N] [--window CYCLES] [--reps N] [--seed N]\n";
+                   "[--threads N] [--window CYCLES] [--reps N] [--seed N] "
+                   "[--jobs N] [--mesh WxH]\n";
       std::exit(0);
     }
   }

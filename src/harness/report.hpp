@@ -33,10 +33,15 @@ class Table {
 std::string fmt(double v, int prec = 2);
 
 /// Standard bench command line: [--full] [--csv FILE] [--json FILE]
-/// [--trace FILE] [--threads N] [--window CYCLES] [--reps N] [--seed N].
-/// Benches scale their sweeps with `full`. `--json` writes the
-/// machine-readable run artifact and `--trace` the Chrome/Perfetto trace
-/// (docs/OBSERVABILITY.md); both are wired through harness::RunArtifacts.
+/// [--trace FILE] [--threads N] [--window CYCLES] [--reps N] [--seed N]
+/// [--jobs N] [--mesh WxH]. Benches scale their sweeps with `full`.
+/// `--json` writes the machine-readable run artifact and `--trace` the
+/// Chrome/Perfetto trace (docs/OBSERVABILITY.md); both are wired through
+/// harness::RunArtifacts. `--jobs` sets the run-pool worker count for
+/// sweep benches (harness/run_pool.hpp); 0 resolves through $HMPS_JOBS,
+/// then hardware_concurrency. `--mesh` overrides the simulated mesh shape
+/// (e.g. 16x16 = 256 cores; docs/ENGINE.md's profiling appendix) on the
+/// benches that honor it.
 struct BenchArgs {
   bool full = false;
   std::string csv;
@@ -46,6 +51,9 @@ struct BenchArgs {
   std::uint64_t window = 0;   // 0 = bench default
   std::uint32_t reps = 0;     // 0 = bench default
   std::uint64_t seed = 1;
+  std::uint32_t jobs = 0;     // run-pool workers; 0 = $HMPS_JOBS, then h/w
+  std::uint32_t mesh_w = 0;   // 0 = bench default machine shape
+  std::uint32_t mesh_h = 0;
 
   static BenchArgs parse(int argc, char** argv);
 };

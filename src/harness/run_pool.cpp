@@ -1,0 +1,116 @@
+#include "harness/run_pool.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+namespace hmps::harness {
+
+std::uint32_t resolve_jobs(std::uint32_t flag) {
+  if (flag != 0) return flag;
+  if (const char* env = std::getenv("HMPS_JOBS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::uint32_t>(v);
+  }
+  const std::uint32_t hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+TaskPool::TaskPool(std::uint32_t jobs) : jobs_(jobs > 0 ? jobs : 1) {
+  if (jobs_ <= 1) return;
+  threads_.reserve(jobs_);
+  for (std::uint32_t i = 0; i < jobs_; ++i) {
+    threads_.emplace_back([this] { worker(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskPool::submit(std::function<void()> task) {
+  if (threads_.empty()) {  // inline mode: the serial code path
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void TaskPool::wait() {
+  if (threads_.empty()) return;
+  std::unique_lock<std::mutex> l(mu_);
+  done_cv_.wait(l, [this] { return in_flight_ == 0; });
+}
+
+void TaskPool::worker() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> l(mu_);
+      work_cv_.wait(l, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    bool drained;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      drained = --in_flight_ == 0;
+    }
+    if (drained) done_cv_.notify_all();
+  }
+}
+
+RunPool::RunPool(RunArtifacts& art, std::uint32_t jobs)
+    : art_(art), pool_(resolve_jobs(jobs)) {}
+
+std::size_t RunPool::submit(std::string label, RunFn fn) {
+  queue_.emplace_back();
+  Job& j = queue_.back();
+  // Label and pid come from the shared RunArtifacts *now*, on the calling
+  // thread: submission order fixes the artifact order regardless of which
+  // worker finishes first.
+  j.obs = art_.next_run(std::move(label));
+  j.use_metrics = j.obs.metrics != nullptr;
+  j.use_trace = j.obs.trace != nullptr;
+  if (j.use_metrics) j.obs.metrics = &j.metrics;
+  if (j.use_trace) j.obs.trace = &j.trace;
+  j.fn = std::move(fn);
+  Job* jp = &j;  // deque: stable across later submits
+  pool_.submit([jp] { jp->result = jp->fn(jp->obs); });
+  return queue_.size() - 1;
+}
+
+const std::vector<RunResult>& RunPool::drain() {
+  pool_.wait();
+  results_.clear();
+  results_.reserve(queue_.size());
+  for (Job& j : queue_) {
+    if (j.use_metrics) {
+      // Move this run's sections into the shared document. Each run
+      // appended exactly the entries it would have appended serially, so
+      // concatenating in submission order reproduces the serial document.
+      obs::JsonValue& dst = art_.metrics().root()["runs"];
+      for (obs::JsonValue& r : j.metrics.root()["runs"].items()) {
+        dst.push_back(std::move(r));
+      }
+    }
+    if (j.use_trace) art_.trace().merge_from(j.trace);
+    results_.push_back(j.result);
+  }
+  queue_.clear();
+  return results_;
+}
+
+}  // namespace hmps::harness

@@ -96,6 +96,7 @@ JsonValue MetricsRegistry::machine_json(arch::Machine& m) {
   eng["spill_allocs"] = JsonValue(ec.spill_allocs);
   eng["heap_grows"] = JsonValue(ec.heap_grows);
   eng["peak_depth"] = JsonValue(ec.peak_depth);
+  eng["fast_forwards"] = JsonValue(ec.fast_forwards);
   j["engine"] = std::move(eng);
 
   const auto& cc = m.coherence().counters();

@@ -305,9 +305,16 @@ class SimCtx {
   /// Fault-injection hook at every operation boundary: while this core sits
   /// inside an injected preemption window, the fiber makes no progress (the
   /// thread is "descheduled"; Section 6's unlucky-scheduling scenario).
-  /// A single predicted-false branch when no plan is active.
+  /// A single predicted-false branch when no plan is active — the stall
+  /// body lives in a separate function so this wrapper actually inlines
+  /// into every memory-op (it did not as one function, and this is called
+  /// before every simulated operation).
   void fault_stall() {
     if (!m_.faults().active()) [[likely]] return;
+    fault_stall_slow();
+  }
+
+  __attribute__((noinline)) void fault_stall_slow() {
     const Cycle until = m_.faults().preempt_until(core_);
     const Cycle t = now();
     if (until > t) {

@@ -158,14 +158,32 @@ class EventFn {
 /// cycle-level model schedules) go into the wheel bucket `time % kWheel` in
 /// O(1). Because simulated time is monotonic and every wheel entry satisfied
 /// `t - now < kWheel` when inserted, all live entries of one bucket share a
-/// single time value — so a bucket is a plain FIFO and its append order IS
-/// seq order. Far-future events go to a small 4-ary min-heap and compete
-/// with the wheel head by (time, seq) at pop, which preserves the global
-/// total order exactly. An occupancy bitmap makes "find the next non-empty
-/// bucket" a couple of word scans.
+/// single time value — so a bucket stores that time once plus a plain FIFO
+/// of 4-byte pool-slot indices, and its append order IS seq order. Far-future
+/// events go to a small 4-ary min-heap and compete with the wheel head by
+/// time at pop; on a tie the overflow entry wins, which is exactly the
+/// (time, seq) order (see pop_until), so the global total order is preserved
+/// bit-for-bit. An occupancy bitmap makes "find the next non-empty bucket" a
+/// couple of word scans, and a cached cursor to that bucket makes draining
+/// same-cycle runs of events skip the scan entirely.
 class EventQueue {
  public:
   using Callback = EventFn;
+
+  /// Queue entries are 32-bit: either a pool-slot index (callback events)
+  /// or kResumeTag | fiber id (fiber resumes, which carry no callable at
+  /// all — see schedule_resume). The tag bit is what lets the scheduler's
+  /// dominant event class skip the callable pool on both ends.
+  static constexpr std::uint32_t kResumeTag = 0x8000'0000u;
+  /// pop_entry() result when the earliest event lies past the horizon.
+  static constexpr std::uint32_t kNoEvent = ~std::uint32_t{0};
+
+  static bool is_resume(std::uint32_t entry) {
+    return (entry & kResumeTag) != 0;
+  }
+  static std::uint32_t resume_fiber(std::uint32_t entry) {
+    return entry & ~kResumeTag;
+  }
 
   /// Schedules `cb` to fire at absolute time `t`. A `t` earlier than the
   /// last popped event's time fires "now" (the scheduler never passes one).
@@ -183,56 +201,98 @@ class EventQueue {
       pool_.emplace_back();
     }
     pool_[slot].emplace(std::forward<F>(cb));
-    const Node n{t, next_seq_++, slot};
-    if (t - floor_ < kWheel) {
-      Bucket& b = buckets_[t & (kWheel - 1)];
-      if (b.items.size() == b.items.capacity()) ++counters_.heap_grows;
-      b.items.push_back(n);
-      occ_[(t & (kWheel - 1)) / 64] |= 1ull << (t % 64);
-      ++wheel_count_;
-    } else {
-      if (overflow_.size() == overflow_.capacity()) ++counters_.heap_grows;
-      overflow_.push_back(n);
-      sift_up(overflow_.size() - 1);
-    }
-    ++size_;
-    ++counters_.scheduled;
-    if (size_ > counters_.peak_depth) counters_.peak_depth = size_;
+    place(t, slot);
+  }
+
+  /// Schedules a fiber resume at absolute time `t`. The entry IS the fiber
+  /// id (tagged) — no callable is constructed, stored, moved, or invoked,
+  /// which matters because resumes are the engine's dominant event class.
+  /// Resume entries are only popped via pop_entry(); pop_until()/pop() must
+  /// not be used on a queue that holds them.
+  void schedule_resume(Cycle t, std::uint32_t fiber_id) {
+    if (t < floor_) t = floor_;
+    place(t, kResumeTag | fiber_id);
   }
 
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
 
   /// Time of the earliest pending event. Precondition: !empty().
-  Cycle next_time() const { return peek().time; }
-
-  /// Pops and returns the earliest event's callback, advancing `now` out.
-  Callback pop(Cycle* now) {
-    const Node n = peek();
-    if (!overflow_.empty() && overflow_.front().seq == n.seq) {
-      pop_overflow();
-    } else {
-      Bucket& b = buckets_[n.time & (kWheel - 1)];
-      if (++b.head == b.items.size()) {
-        b.items.clear();
-        b.head = 0;
-        occ_[(n.time & (kWheel - 1)) / 64] &= ~(1ull << (n.time % 64));
-      }
-      --wheel_count_;
+  Cycle next_time() const {
+    Cycle t = kCycleMax;
+    if (wheel_count_ > 0) t = buckets_[locate_min_bucket()].time;
+    if (!overflow_.empty() && overflow_.front().time < t) {
+      t = overflow_.front().time;
     }
-    floor_ = n.time;
-    *now = n.time;
-    Callback cb = std::move(pool_[n.slot]);
-    free_slots_.push_back(n.slot);
-    --size_;
-    ++counters_.executed;
+    return t;
+  }
+
+  /// If no pending event fires at or before `t`, advances the queue's time
+  /// floor to `t` and returns true: the caller may move the clock straight
+  /// to `t` without a schedule/pop round trip, because nothing could have
+  /// executed in between — a resume scheduled at `t` would have been the
+  /// very next pop. Returns false (queue untouched) when an event at or
+  /// before `t` is pending. Raising the floor keeps every invariant: live
+  /// wheel entries lie in (t, floor+kWheel) ⊂ [t, t+kWheel), so bucket
+  /// sharing and the scan-from-floor both stay exact.
+  bool fast_forward(Cycle t) {
+    Cycle e = kCycleMax;
+    if (wheel_count_ > 0) {
+      if (cur_ == kNoBucket) cur_ = locate_min_bucket();
+      e = buckets_[cur_].time;
+    }
+    if (!overflow_.empty() && overflow_.front().time < e) {
+      e = overflow_.front().time;
+    }
+    if (e <= t) return false;
+    floor_ = t;
+    ++counters_.fast_forwards;
+    return true;
+  }
+
+  /// Pops the earliest event if its time is <= `horizon`: writes that time
+  /// to `*now` and returns its entry (callback slot or tagged fiber id —
+  /// see is_resume/claim). Returns kNoEvent (leaving `*now` untouched and
+  /// the queue unchanged) when the earliest event lies past the horizon.
+  /// Precondition: !empty(). One bucket locate per call — this is the hot
+  /// pop path; next_time()+pop would locate twice per event.
+  std::uint32_t pop_entry(Cycle horizon, Cycle* now) {
+    return pop_entry_impl<false>(horizon, now);
+  }
+
+  /// pop_entry, but only when the earliest event is a fiber resume; returns
+  /// kNoEvent (queue unchanged) when it is a callback or past the horizon.
+  /// This is what lets a blocking fiber chain straight into the next
+  /// runnable fiber (Scheduler::park_and_dispatch) without consuming a
+  /// callback event it could not execute from a fiber stack.
+  std::uint32_t pop_resume(Cycle horizon, Cycle* now) {
+    return pop_entry_impl<true>(horizon, now);
+  }
+
+  /// Moves out the callback of a popped callback entry (is_resume(entry)
+  /// must be false) and recycles its pool slot.
+  Callback claim(std::uint32_t entry) {
+    Callback cb = std::move(pool_[entry]);
+    free_slots_.push_back(entry);
     return cb;
   }
+
+  /// pop_entry + claim for queues holding only callback events (standalone
+  /// EventQueue users; the scheduler pops entries itself to dispatch
+  /// resumes inline).
+  Callback pop_until(Cycle horizon, Cycle* now) {
+    const std::uint32_t e = pop_entry(horizon, now);
+    return e == kNoEvent ? Callback{} : claim(e);
+  }
+
+  /// Pops and returns the earliest event's callback, advancing `now` out.
+  /// Precondition: !empty().
+  Callback pop(Cycle* now) { return pop_until(kCycleMax, now); }
 
   /// Drops all pending events in O(n + wheel size).
   void clear() {
     for (Bucket& b : buckets_) {
-      b.items.clear();
+      b.slots.clear();
       b.head = 0;
     }
     occ_.fill(0);
@@ -241,13 +301,21 @@ class EventQueue {
     free_slots_.clear();
     wheel_count_ = 0;
     size_ = 0;
+    cur_ = kNoBucket;
   }
 
-  /// Pre-sizes the callable pool so the first `n` concurrent events never
-  /// grow the heap.
-  void reserve(std::size_t n) {
+  /// Pre-sizes the callable pool for `n` concurrent events, and (when
+  /// `per_bucket` > 0) every wheel bucket for `per_bucket` same-cycle
+  /// events plus the overflow heap for `n` far-future timers — a fully
+  /// pre-sized queue runs its steady state with zero heap growth
+  /// (heap_grows stays 0 after reset_counters()).
+  void reserve(std::size_t n, std::size_t per_bucket = 0) {
     pool_.reserve(n);
     free_slots_.reserve(n);
+    if (per_bucket > 0) {
+      for (Bucket& b : buckets_) b.slots.reserve(per_bucket);
+      overflow_.reserve(n);
+    }
   }
 
   const EngineCounters& counters() const { return counters_; }
@@ -259,48 +327,122 @@ class EventQueue {
   /// overflow-heap path, which is merely O(log n), not wrong.
   static constexpr std::size_t kWheel = 1024;
 
+  /// Overflow-heap entry. Wheel buckets need none of this: their time is
+  /// stored once per bucket and their FIFO order is their seq order.
   struct Node {
     Cycle time;
     std::uint64_t seq;
-    std::uint32_t slot;  ///< index of the callable in pool_
+    std::uint32_t slot;  ///< entry: pool index or kResumeTag | fiber id
   };
 
-  /// FIFO of same-time events; `head` fronts the vector so steady-state
-  /// drain/refill cycles never shift or reallocate.
+  /// FIFO of same-time events (pool-slot indices; the shared time is stored
+  /// once). `head` fronts the vector so steady-state drain/refill cycles
+  /// never shift or reallocate.
   struct Bucket {
-    std::vector<Node> items;
+    std::vector<std::uint32_t> slots;
     std::size_t head = 0;
+    Cycle time = 0;  ///< time of every live entry; valid while non-empty
   };
 
-  /// Earliest pending event by (time, seq): the first entry of the next
-  /// occupied bucket at or after floor_, unless the overflow root beats it.
-  Node peek() const {
-    const Node* best = nullptr;
+  static constexpr std::size_t kNoBucket = ~std::size_t{0};
+
+  /// Index of the occupied bucket with the earliest time: the next occupied
+  /// bucket at or after floor_ in wheel order. Precondition:
+  /// wheel_count_ > 0.
+  std::size_t locate_min_bucket() const {
+    const std::size_t start = floor_ & (kWheel - 1);
+    std::size_t w = start / 64;
+    std::uint64_t word = occ_[w] & (~0ull << (start % 64));
+    for (;;) {
+      if (word != 0) {
+        return w * 64 + static_cast<std::size_t>(__builtin_ctzll(word));
+      }
+      w = (w + 1) % (kWheel / 64);
+      word = occ_[w];
+      // wheel_count_ > 0 guarantees termination within one revolution.
+    }
+  }
+
+  template <bool kResumeOnly>
+  std::uint32_t pop_entry_impl(Cycle horizon, Cycle* now) {
+    std::size_t idx = kNoBucket;
+    Cycle wheel_time = kCycleMax;
     if (wheel_count_ > 0) {
-      const std::size_t start = floor_ & (kWheel - 1);
-      std::size_t w = start / 64;
-      std::uint64_t word = occ_[w] & (~0ull << (start % 64));
-      for (;;) {
-        if (word != 0) {
-          const std::size_t bit =
-              static_cast<std::size_t>(__builtin_ctzll(word));
-          const Bucket& b = buckets_[w * 64 + bit];
-          best = &b.items[b.head];
-          break;
+      idx = cur_ != kNoBucket ? cur_ : locate_min_bucket();
+      wheel_time = buckets_[idx].time;
+    }
+    std::uint32_t entry;
+    if (!overflow_.empty() && overflow_.front().time <= wheel_time) {
+      // On a time tie the overflow entry fires first: it was inserted while
+      // floor_ <= t - kWheel, and floor_ is monotonic, so every wheel entry
+      // at the same time was inserted later and carries a larger seq.
+      const Node o = overflow_.front();
+      if (o.time > horizon) return kNoEvent;
+      if constexpr (kResumeOnly) {
+        if (!is_resume(o.slot)) {
+          cur_ = idx;
+          return kNoEvent;
         }
-        w = (w + 1) % (kWheel / 64);
-        word = occ_[w];
-        // wheel_count_ > 0 guarantees termination within one revolution.
       }
-    }
-    if (!overflow_.empty()) {
-      const Node& o = overflow_.front();
-      if (best == nullptr || o.time < best->time ||
-          (o.time == best->time && o.seq < best->seq)) {
-        return o;
+      pop_overflow();
+      cur_ = idx;
+      floor_ = o.time;
+      *now = o.time;
+      entry = o.slot;
+    } else {
+      if (wheel_time > horizon) {
+        cur_ = idx;
+        return kNoEvent;
       }
+      Bucket& b = buckets_[idx];
+      entry = b.slots[b.head];
+      if constexpr (kResumeOnly) {
+        if (!is_resume(entry)) {
+          cur_ = idx;
+          return kNoEvent;
+        }
+      }
+      if (++b.head == b.slots.size()) {
+        b.slots.clear();
+        b.head = 0;
+        occ_[idx / 64] &= ~(1ull << (idx % 64));
+        cur_ = kNoBucket;
+      } else {
+        cur_ = idx;
+      }
+      --wheel_count_;
+      floor_ = wheel_time;
+      *now = wheel_time;
     }
-    return *best;
+    --size_;
+    ++counters_.executed;
+    return entry;
+  }
+
+  /// Inserts `entry` (callback slot or tagged fiber id) at time `t` into
+  /// the wheel or the overflow heap. Precondition: t >= floor_.
+  void place(Cycle t, std::uint32_t entry) {
+    if (t - floor_ < kWheel) {
+      const std::size_t idx = t & (kWheel - 1);
+      Bucket& b = buckets_[idx];
+      if (b.slots.size() == b.slots.capacity()) ++counters_.heap_grows;
+      b.slots.push_back(entry);
+      b.time = t;
+      occ_[idx / 64] |= 1ull << (idx % 64);
+      ++wheel_count_;
+      if (cur_ == kNoBucket) {
+        if (wheel_count_ == 1) cur_ = idx;
+      } else if (t < buckets_[cur_].time) {
+        cur_ = idx;
+      }
+    } else {
+      if (overflow_.size() == overflow_.capacity()) ++counters_.heap_grows;
+      overflow_.push_back(Node{t, next_seq_++, entry});
+      sift_up(overflow_.size() - 1);
+    }
+    ++size_;
+    ++counters_.scheduled;
+    if (size_ > counters_.peak_depth) counters_.peak_depth = size_;
   }
 
   // Strict ordering of the (time, seq) pair; seq values are unique, so this
@@ -355,6 +497,10 @@ class EventQueue {
   std::size_t wheel_count_ = 0;  ///< events resident in wheel buckets
   std::size_t size_ = 0;
   Cycle floor_ = 0;  ///< time of the last popped event
+  /// Cached index of the earliest occupied bucket (kNoBucket = unknown).
+  /// Maintained by pop_until/schedule so same-cycle event runs skip the
+  /// bitmap scan.
+  std::size_t cur_ = kNoBucket;
   std::uint64_t next_seq_ = 0;
   EngineCounters counters_;
 };

@@ -7,18 +7,27 @@
 #include <vector>
 
 #if HMPS_FIBER_ASAN
+#include <sanitizer/asan_interface.h>
 #include <sanitizer/common_interface_defs.h>
 #endif
 
 namespace hmps::sim {
-namespace {
 
-// The fiber being started is published through this slot just before the
-// first switch into it (the context-switch primitives cannot portably carry
-// a pointer argument). The simulator is single-host-threaded, so a plain
-// global is fine.
-Fiber* g_starting = nullptr;
-Fiber* g_current = nullptr;
+namespace detail {
+// See the declaration in fiber.hpp for why these are thread_local.
+constinit thread_local Fiber* g_starting = nullptr;
+constinit thread_local Fiber* g_current = nullptr;
+#if !HMPS_FIBER_UCONTEXT && HMPS_FIBER_ASAN
+constinit thread_local const void* g_xfer_bottom = nullptr;
+constinit thread_local std::size_t g_xfer_size = 0;
+constinit thread_local bool g_xfer_pending = false;
+#endif
+}  // namespace detail
+
+using detail::g_current;
+using detail::g_starting;
+
+namespace {
 
 // Fresh fiber stacks are a large source of kernel time: each 256 KiB `new`
 // becomes an mmap that is faulted in page by page and unmapped when the
@@ -46,6 +55,13 @@ struct StackPool {
   }
 
   void put(std::size_t bytes, char* stack) {
+#if HMPS_FIBER_ASAN
+    // Fibers abandoned while blocked are reclaimed without unwinding, so
+    // scope-poison from their live frames is still in shadow memory. A
+    // recycled stack bypasses the allocator (which would clear it), so the
+    // next fiber's frames would trip false use-after-scope — scrub it here.
+    __asan_unpoison_memory_region(stack, bytes);
+#endif
     if (free_list.size() >= kMaxPooledStacks) {
       delete[] stack;
       return;
@@ -116,6 +132,20 @@ void Fiber::yield() {
   swapcontext(&ctx_, &caller_);
 }
 
+void Fiber::switch_to(Fiber& next) {
+  assert(g_current == this && "switch_to called off-fiber");
+  assert(&next != this && "switch_to self");
+  assert(next.state_ != State::kFinished && "switching to a finished fiber");
+  next.caller_ = caller_;  // the scheduler continuation travels with the chain
+  g_current = &next;
+  next.state_ = State::kRunning;
+  if (!next.started_) {
+    next.started_ = true;
+    g_starting = &next;
+  }
+  swapcontext(&ctx_, &next.ctx_);
+}
+
 #else  // !HMPS_FIBER_UCONTEXT
 
 // ---------------------------------------------------------------------------
@@ -127,10 +157,18 @@ void Fiber::yield() {
 // engine, so this is where the events/sec of the whole simulator is decided.
 // ---------------------------------------------------------------------------
 
-// hmps_ctx_switch(save_sp, load_sp): pushes the callee-saved state on the
+// hmps_ctx_switch(save_sp, load_sp): pushes the callee-saved GPRs on the
 // current stack, parks the stack pointer in *save_sp, switches to load_sp
-// and pops the same state off it. The 64-byte frame layout (low to high) is
-// [fcw+mxcsr][r15][r14][r13][r12][rbx][rbp][return address].
+// and pops the same state off it. The 56-byte frame layout (low to high) is
+// [r15][r14][r13][r12][rbx][rbp][return address].
+//
+// The SysV ABI also makes the x87 control word and mxcsr callee-saved, but
+// they are NOT switched here: nothing in the simulator (or in any code a
+// fiber calls across a yield point) changes rounding/precision modes, so
+// every context observes the process-default values, and the four control-
+// word instructions the original frame carried were a measurable slice of
+// the hottest edge in the engine. Code that does alter fp modes must
+// restore them before the next Scheduler call.
 asm(R"(
 .text
 .globl hmps_ctx_switch
@@ -144,14 +182,8 @@ hmps_ctx_switch:
   pushq %r13
   pushq %r14
   pushq %r15
-  subq $8, %rsp
-  stmxcsr 4(%rsp)
-  fnstcw (%rsp)
   movq %rsp, (%rdi)
   movq %rsi, %rsp
-  fldcw (%rsp)
-  ldmxcsr 4(%rsp)
-  addq $8, %rsp
   popq %r15
   popq %r14
   popq %r13
@@ -161,8 +193,6 @@ hmps_ctx_switch:
   ret
 .size hmps_ctx_switch, .-hmps_ctx_switch
 )");
-
-extern "C" void hmps_ctx_switch(void** save_sp, void* load_sp);
 
 namespace {
 
@@ -202,29 +232,46 @@ namespace hmps::sim {
 Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
     : fn_(std::move(fn)), stack_(pool().get(stack_bytes)),
       stack_bytes_(stack_bytes) {
-  // Build the initial 64-byte switch frame at the stack top such that when
+  // Build the initial switch frame at the stack top such that when
   // hmps_ctx_switch pops it and `ret`s into hmps_fiber_entry, the stack
   // pointer is congruent to 8 mod 16 — exactly as if the entry had been
   // `call`ed, which is what the ABI (and compiled code) expects.
   char* top = stack_ + stack_bytes;
   top -= reinterpret_cast<std::uintptr_t>(top) % 16;
-  std::uint64_t* frame = reinterpret_cast<std::uint64_t*>(top) - 9;  // 72 B
-  std::uint32_t mxcsr;
-  std::uint16_t fcw;
-  asm volatile("stmxcsr %0" : "=m"(mxcsr));
-  asm volatile("fnstcw %0" : "=m"(fcw));
-  frame[0] = static_cast<std::uint64_t>(fcw) |
-             (static_cast<std::uint64_t>(mxcsr) << 32);
-  for (int i = 1; i <= 6; ++i) frame[i] = 0;  // r15 r14 r13 r12 rbx rbp
-  frame[7] = reinterpret_cast<std::uint64_t>(&hmps_fiber_entry);
+  std::uint64_t* frame = reinterpret_cast<std::uint64_t*>(top) - 8;  // 64 B
+  for (int i = 0; i <= 5; ++i) frame[i] = 0;  // r15 r14 r13 r12 rbx rbp
+  frame[6] = reinterpret_cast<std::uint64_t>(&hmps_fiber_entry);
   ctx_sp_ = frame;
 }
+
+#if HMPS_FIBER_ASAN
+void Fiber::asan_on_wake() {
+  const void* bottom = nullptr;
+  std::size_t size = 0;
+  asan_finish(asan_fake_, &bottom, &size);
+  if (detail::g_xfer_pending) {
+    // Woken by switch_to(): the previous stack is the switching fiber's,
+    // but the continuation we hold is the scheduler's — keep its bounds.
+    detail::g_xfer_pending = false;
+    asan_caller_bottom_ = detail::g_xfer_bottom;
+    asan_caller_size_ = detail::g_xfer_size;
+  } else {
+    asan_caller_bottom_ = bottom;
+    asan_caller_size_ = size;
+  }
+}
+#endif
 
 void Fiber::trampoline() {
   Fiber* self = g_starting;
   g_starting = nullptr;
 #if HMPS_FIBER_ASAN
   asan_finish(nullptr, &self->asan_caller_bottom_, &self->asan_caller_size_);
+  if (detail::g_xfer_pending) {  // first entry came from switch_to()
+    detail::g_xfer_pending = false;
+    self->asan_caller_bottom_ = detail::g_xfer_bottom;
+    self->asan_caller_size_ = detail::g_xfer_size;
+  }
 #endif
   self->fn_();
   self->state_ = State::kFinished;
@@ -237,37 +284,8 @@ void Fiber::trampoline() {
   __builtin_unreachable();
 }
 
-void Fiber::resume() {
-  assert(state_ != State::kFinished && "resuming a finished fiber");
-  Fiber* prev = g_current;
-  g_current = this;
-  state_ = State::kRunning;
-  if (!started_) {
-    started_ = true;
-    g_starting = this;
-  }
-#if HMPS_FIBER_ASAN
-  void* fake = nullptr;
-  asan_start(&fake, stack_, stack_bytes_);
-#endif
-  hmps_ctx_switch(&caller_sp_, ctx_sp_);
-#if HMPS_FIBER_ASAN
-  asan_finish(fake, nullptr, nullptr);
-#endif
-  g_current = prev;
-  if (state_ == State::kRunning) state_ = State::kReady;
-}
-
-void Fiber::yield() {
-  assert(g_current == this && "yield called off-fiber");
-#if HMPS_FIBER_ASAN
-  asan_start(&asan_fake_, asan_caller_bottom_, asan_caller_size_);
-#endif
-  hmps_ctx_switch(&ctx_sp_, caller_sp_);
-#if HMPS_FIBER_ASAN
-  asan_finish(asan_fake_, &asan_caller_bottom_, &asan_caller_size_);
-#endif
-}
+// resume()/yield() for this path are inline in fiber.hpp: they run twice
+// per simulated event.
 
 #endif  // HMPS_FIBER_UCONTEXT
 

@@ -14,27 +14,35 @@ void Scheduler::schedule_resume(FiberId id, Cycle t) {
   if (perturber_ != nullptr) [[unlikely]] {
     t += perturber_->resume_delay(id, t);
   }
-  queue_.schedule(t, [this, id] {
-    Fiber& f = *fibers_[id];
-    if (f.finished()) return;
-    const FiberId prev = current_;
-    current_ = id;
-    f.resume();
-    current_ = prev;
-  });
+  schedule_resume_at(id, t);
+}
+
+void Scheduler::schedule_resume_at(FiberId id, Cycle t) {
+  queue_.schedule_resume(t, id);
 }
 
 Cycle Scheduler::run(Cycle horizon) {
   stop_requested_ = false;
+  horizon_ = horizon;
   while (!queue_.empty() && !stop_requested_) {
-    if (queue_.next_time() > horizon) {
+    Cycle t;
+    const std::uint32_t e = queue_.pop_entry(horizon, &t);
+    if (e == EventQueue::kNoEvent) {  // earliest event lies past the horizon
       now_ = horizon;
       break;
     }
-    Cycle t;
-    EventQueue::Callback cb = queue_.pop(&t);
     now_ = t;
-    cb();
+    if (EventQueue::is_resume(e)) {
+      Fiber& f = *fibers_[EventQueue::resume_fiber(e)];
+      if (f.finished()) continue;  // resume raced the fiber's exit
+      const FiberId prev = current_;
+      current_ = EventQueue::resume_fiber(e);
+      f.resume();
+      current_ = prev;
+    } else {
+      EventQueue::Callback cb = queue_.claim(e);
+      cb();
+    }
   }
   return now_;
 }
@@ -42,17 +50,45 @@ Cycle Scheduler::run(Cycle horizon) {
 void Scheduler::wait_until(Cycle t) {
   assert(in_fiber());
   const FiberId id = current_;
+  if (t < now_) t = now_;
+  if (perturber_ != nullptr) [[unlikely]] {
+    t += perturber_->resume_delay(id, t);
+  }
+  // Fast path: if no other event fires at or before t, the serial course of
+  // events is "pop this fiber's resume at t" with nothing in between — so
+  // skip the schedule + pop + two context switches and just advance the
+  // clock. Disallowed after stop() (the fiber must yield so run() can
+  // return) and past the run() horizon (run() must regain control there).
+  if (!stop_requested_ && t <= horizon_ && queue_.fast_forward(t)) {
+    now_ = t;
+    return;
+  }
   Fiber& f = *fibers_[id];
-  schedule_resume(id, t < now_ ? now_ : t);
+  schedule_resume_at(id, t);  // perturber already applied above
+  park_and_dispatch(f);
+}
+
+void Scheduler::park_and_dispatch(Fiber& f) {
   f.set_state(Fiber::State::kBlocked);
+  if (!stop_requested_) {
+    while (!queue_.empty()) {
+      Cycle t;
+      const std::uint32_t e = queue_.pop_resume(horizon_, &t);
+      if (e == EventQueue::kNoEvent) break;  // callback next, or past horizon
+      now_ = t;
+      Fiber& nf = *fibers_[EventQueue::resume_fiber(e)];
+      if (nf.finished()) continue;  // stale resume, same skip as the run loop
+      current_ = EventQueue::resume_fiber(e);
+      f.switch_to(nf);
+      return;
+    }
+  }
   f.yield();
 }
 
 void Scheduler::suspend() {
   assert(in_fiber());
-  Fiber& f = *fibers_[current_];
-  f.set_state(Fiber::State::kBlocked);
-  f.yield();
+  park_and_dispatch(*fibers_[current_]);
 }
 
 void Scheduler::wake(FiberId id, Cycle t) {

@@ -52,8 +52,11 @@ class Scheduler {
   /// Engine self-counters (events scheduled/executed, allocation escapes).
   const EngineCounters& engine_counters() const { return queue_.counters(); }
 
-  /// Pre-sizes the event pool (see EventQueue::reserve).
-  void reserve_events(std::size_t n) { queue_.reserve(n); }
+  /// Pre-sizes the event pool, wheel buckets, and overflow heap (see
+  /// EventQueue::reserve).
+  void reserve_events(std::size_t n, std::size_t per_bucket = 0) {
+    queue_.reserve(n, per_bucket);
+  }
 
   /// Installs (or removes, with nullptr) a schedule perturber. Every fiber
   /// resume scheduled afterwards is offered to it; nothing else in the
@@ -91,11 +94,19 @@ class Scheduler {
   static constexpr FiberId kNoFiber = ~FiberId{0};
 
  private:
-  void schedule_resume(FiberId id, Cycle t);
+  void schedule_resume(FiberId id, Cycle t);     // applies the perturber
+  void schedule_resume_at(FiberId id, Cycle t);  // exact time, no perturb
+
+  /// Parks fiber `f` (the one currently running). If the next event due is
+  /// another fiber's resume, switches straight into it — one context switch
+  /// instead of the yield-to-scheduler + resume pair — repeating the run
+  /// loop's skip of finished fibers; otherwise yields to the run loop.
+  void park_and_dispatch(Fiber& f);
 
   EventQueue queue_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
   Cycle now_ = 0;
+  Cycle horizon_ = kCycleMax;  ///< run() window; bounds the wait fast path
   FiberId current_ = kNoFiber;
   bool stop_requested_ = false;
   Perturber* perturber_ = nullptr;

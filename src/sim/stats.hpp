@@ -15,11 +15,12 @@ namespace hmps::sim {
 /// keep on unconditionally and let tests assert the zero-allocation contract
 /// instead of taking it on faith.
 struct EngineCounters {
-  std::uint64_t scheduled = 0;     ///< events ever pushed
-  std::uint64_t executed = 0;      ///< events ever popped
-  std::uint64_t spill_allocs = 0;  ///< callbacks too big for inline storage
-  std::uint64_t heap_grows = 0;    ///< reallocations of the heap array
-  std::uint64_t peak_depth = 0;    ///< max simultaneous pending events
+  std::uint64_t scheduled = 0;      ///< events ever pushed
+  std::uint64_t executed = 0;       ///< events ever popped
+  std::uint64_t spill_allocs = 0;   ///< callbacks too big for inline storage
+  std::uint64_t heap_grows = 0;     ///< reallocations of the heap array
+  std::uint64_t peak_depth = 0;     ///< max simultaneous pending events
+  std::uint64_t fast_forwards = 0;  ///< waits satisfied without an event
 };
 
 /// Streaming min/max/mean/variance accumulator (Welford's algorithm).

@@ -357,18 +357,39 @@ TEST(EventQueueOrder, WheelOverflowFuzz) {
   }
 }
 
-// The self-counters must account for every event exactly once.
+// The self-counters must account for every event exactly once. Two fibers
+// with overlapping waits keep each other's resume pending, so the waits go
+// through the event queue rather than the wait_until fast path.
 TEST(EngineCounters, ScheduledMatchesExecuted) {
   sim::Scheduler s;
   int ticks = 0;
   s.spawn([&] {
     for (; ticks < 100; ++ticks) s.wait_for(3);
   });
+  s.spawn([&] {
+    while (ticks < 100) s.wait_for(3);
+  });
   s.run();
   const auto& c = s.engine_counters();
   EXPECT_EQ(c.scheduled, c.executed);
   EXPECT_GE(c.scheduled, 100u);
   EXPECT_GE(c.peak_depth, 1u);
+}
+
+// A lone fiber's waits never race another event, so they are satisfied by
+// fast-forwarding the clock: no events beyond the initial spawn resume.
+TEST(EngineCounters, LoneFiberWaitsFastForward) {
+  sim::Scheduler s;
+  int ticks = 0;
+  s.spawn([&] {
+    for (; ticks < 100; ++ticks) s.wait_for(3);
+  });
+  const sim::Cycle end = s.run();
+  EXPECT_EQ(end, 300u);
+  const auto& c = s.engine_counters();
+  EXPECT_EQ(c.scheduled, 1u);  // the spawn resume only
+  EXPECT_EQ(c.executed, 1u);
+  EXPECT_EQ(c.fast_forwards, 100u);
 }
 
 }  // namespace

@@ -1,0 +1,286 @@
+// The run pool's contract (harness/run_pool.hpp): executing a set of
+// submitted runs on N worker threads produces artifacts byte-identical to
+// executing the same submissions serially, regardless of completion order.
+// These tests pin that contract at every layer — TaskPool mechanics,
+// RunPool metrics/trace merging, and the parallel schedule-exploration
+// loop's repro output.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/explore.hpp"
+#include "check/repro.hpp"
+#include "harness/artifact.hpp"
+#include "harness/run_pool.hpp"
+#include "harness/workload.hpp"
+
+namespace {
+
+using namespace hmps;
+using harness::Approach;
+using harness::BenchArgs;
+using harness::RunArtifacts;
+using harness::RunPool;
+using harness::TaskPool;
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+std::string tmp_path(const char* name) {
+  return ::testing::TempDir() + "hmps_run_pool_" + name;
+}
+
+// --- resolve_jobs ----------------------------------------------------------
+
+TEST(ResolveJobs, FlagWinsOverEnvAndHardware) {
+  ::setenv("HMPS_JOBS", "3", 1);
+  EXPECT_EQ(harness::resolve_jobs(7), 7u);
+  ::unsetenv("HMPS_JOBS");
+}
+
+TEST(ResolveJobs, EnvWinsOverHardware) {
+  ::setenv("HMPS_JOBS", "5", 1);
+  EXPECT_EQ(harness::resolve_jobs(0), 5u);
+  ::unsetenv("HMPS_JOBS");
+}
+
+TEST(ResolveJobs, DefaultsToHardwareConcurrencyAtLeastOne) {
+  ::unsetenv("HMPS_JOBS");
+  const std::uint32_t hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(harness::resolve_jobs(0), hw > 0 ? hw : 1u);
+}
+
+TEST(ResolveJobs, GarbageEnvFallsThrough) {
+  ::setenv("HMPS_JOBS", "not-a-number", 1);
+  const std::uint32_t hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(harness::resolve_jobs(0), hw > 0 ? hw : 1u);
+  ::unsetenv("HMPS_JOBS");
+}
+
+// --- TaskPool --------------------------------------------------------------
+
+TEST(TaskPool, RunsEveryTask) {
+  TaskPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(TaskPool, SingleJobRunsInlineOnCallerThread) {
+  TaskPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool ran = false;
+  pool.submit([&] {
+    ran = true;
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  // Inline mode: the task has already run when submit() returns.
+  EXPECT_TRUE(ran);
+  pool.wait();
+}
+
+TEST(TaskPool, ReusableAfterWait) {
+  TaskPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 50 * (round + 1));
+  }
+}
+
+TEST(TaskPool, WaitWithNothingSubmittedReturns) {
+  TaskPool pool(2);
+  pool.wait();  // must not hang
+  TaskPool serial(1);
+  serial.wait();
+}
+
+// --- RunPool artifact identity ---------------------------------------------
+
+// Builds the BenchArgs/argv a bench main() would have. The argv recorded in
+// the artifact header must match between the serial and parallel runs for a
+// byte comparison to be meaningful, so both use this fixed fake argv.
+BenchArgs artifact_args(const std::string& json, const std::string& trace) {
+  BenchArgs a;
+  a.json = json;
+  a.trace = trace;
+  return a;
+}
+
+std::vector<harness::RunCfg> sweep_cfgs() {
+  std::vector<harness::RunCfg> cfgs;
+  for (std::uint32_t t : {2u, 3u, 4u}) {
+    harness::RunCfg cfg;
+    cfg.app_threads = t;
+    cfg.warmup = 2'000;
+    cfg.window = 6'000;
+    cfg.reps = 2;
+    cfg.seed = 42;
+    cfgs.push_back(cfg);
+  }
+  return cfgs;
+}
+
+// Runs the sweep serially (the pre-pool code path: shared sinks, in order)
+// and returns the artifact bytes.
+void run_serial(const std::string& json, const std::string& trace,
+                std::vector<harness::RunResult>* results = nullptr) {
+  const char* argv[] = {const_cast<char*>("sweep")};
+  BenchArgs args = artifact_args(json, trace);
+  RunArtifacts art(args, "sweep", 1, const_cast<char**>(argv));
+  for (const harness::RunCfg& base : sweep_cfgs()) {
+    for (Approach a : {Approach::kMpServer, Approach::kCcSynch}) {
+      harness::RunCfg cfg = base;
+      cfg.obs = art.next_run(std::string(harness::approach_name(a)) + "/t" +
+                             std::to_string(cfg.app_threads));
+      const auto r = harness::run_counter(cfg, a);
+      if (results) results->push_back(r);
+    }
+  }
+  art.finalize();
+}
+
+// Same sweep through the RunPool with `jobs` workers. `reverse_weight`
+// makes the first-submitted runs the slowest (largest windows), so under
+// multiple workers completion order is adversarial to submission order.
+void run_pooled(const std::string& json, const std::string& trace,
+                std::uint32_t jobs, bool reverse_weight,
+                std::vector<harness::RunResult>* results = nullptr) {
+  const char* argv[] = {const_cast<char*>("sweep")};
+  BenchArgs args = artifact_args(json, trace);
+  RunArtifacts art(args, "sweep", 1, const_cast<char**>(argv));
+  RunPool pool(art, jobs);
+  std::vector<harness::RunCfg> cfgs = sweep_cfgs();
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    for (Approach a : {Approach::kMpServer, Approach::kCcSynch}) {
+      harness::RunCfg cfg = cfgs[i];
+      if (reverse_weight) {
+        // First submissions simulate the longest window: workers finish
+        // later submissions first, exercising out-of-order completion.
+        cfg.window += (cfgs.size() - i) * 4'000;
+      }
+      pool.submit(std::string(harness::approach_name(a)) + "/t" +
+                      std::to_string(cfg.app_threads),
+                  [cfg, a](const harness::RunObs& obs) {
+                    harness::RunCfg c = cfg;
+                    c.obs = obs;
+                    return harness::run_counter(c, a);
+                  });
+    }
+  }
+  const auto& rs = pool.drain();
+  if (results) *results = rs;
+  art.finalize();
+}
+
+TEST(RunPool, MetricsAndTraceBitIdenticalToSerial) {
+  const std::string sj = tmp_path("serial.json");
+  const std::string st = tmp_path("serial.trace.json");
+  const std::string pj = tmp_path("pool.json");
+  const std::string pt = tmp_path("pool.trace.json");
+  std::vector<harness::RunResult> serial_rs, pool_rs;
+  run_serial(sj, st, &serial_rs);
+  run_pooled(pj, pt, 4, /*reverse_weight=*/false, &pool_rs);
+
+  const std::string serial_json = slurp(sj);
+  ASSERT_FALSE(serial_json.empty());
+  EXPECT_EQ(serial_json, slurp(pj));
+  const std::string serial_trace = slurp(st);
+  ASSERT_FALSE(serial_trace.empty());
+  EXPECT_EQ(serial_trace, slurp(pt));
+
+  // Results come back in submission order with bit-equal measurements.
+  ASSERT_EQ(serial_rs.size(), pool_rs.size());
+  for (std::size_t i = 0; i < serial_rs.size(); ++i) {
+    EXPECT_EQ(serial_rs[i].mops, pool_rs[i].mops) << "run " << i;
+    EXPECT_EQ(serial_rs[i].total_ops, pool_rs[i].total_ops) << "run " << i;
+    EXPECT_EQ(serial_rs[i].lat_p99, pool_rs[i].lat_p99) << "run " << i;
+  }
+}
+
+TEST(RunPool, MergeDeterministicUnderAdversarialCompletionOrder) {
+  // Weighted so completion order inverts submission order; the merged
+  // artifact must still equal the serial execution of the same weighted
+  // submissions (jobs=1 through the same RunPool code path).
+  const std::string sj = tmp_path("adv_serial.json");
+  const std::string st = tmp_path("adv_serial.trace.json");
+  const std::string pj = tmp_path("adv_pool.json");
+  const std::string pt = tmp_path("adv_pool.trace.json");
+  run_pooled(sj, st, 1, /*reverse_weight=*/true);
+  run_pooled(pj, pt, 8, /*reverse_weight=*/true);
+  const std::string serial_json = slurp(sj);
+  ASSERT_FALSE(serial_json.empty());
+  EXPECT_EQ(serial_json, slurp(pj));
+  EXPECT_EQ(slurp(st), slurp(pt));
+}
+
+TEST(RunPool, ReusableAcrossDrains) {
+  const char* argv[] = {const_cast<char*>("sweep")};
+  BenchArgs args;  // no artifacts: exercise the null-sink path
+  RunArtifacts art(args, "sweep", 1, const_cast<char**>(argv));
+  RunPool pool(art, 2);
+  harness::RunCfg cfg;
+  cfg.app_threads = 2;
+  cfg.warmup = 1'000;
+  cfg.window = 3'000;
+  cfg.reps = 1;
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      pool.submit("r", [cfg](const harness::RunObs& obs) {
+        harness::RunCfg c = cfg;
+        c.obs = obs;
+        return harness::run_counter(c, Approach::kMpServer);
+      });
+    }
+    EXPECT_EQ(pool.drain().size(), 3u);
+  }
+}
+
+// --- parallel schedule exploration -----------------------------------------
+
+// The exploration loop batches scenario execution across workers but must
+// find the same (lowest-iteration) violation and shrink it to the same
+// repro as the serial loop.
+TEST(ExploreJobs, ReproIdenticalAcrossJobCounts) {
+  check::ExploreCfg cfg;
+  cfg.seed = 11;
+  cfg.max_schedules = 300;
+  cfg.budget_seconds = 0;  // schedule-bound
+  cfg.constructions = {harness::Construction::kHybComb};
+  cfg.objects = {harness::Object::kCounter};
+  cfg.hyb_bug_drop_every = 3;  // seeded defect: a violation exists
+
+  cfg.jobs = 1;
+  const check::ExploreResult serial = check::explore(cfg);
+  cfg.jobs = 8;
+  const check::ExploreResult parallel = check::explore(cfg);
+
+  ASSERT_TRUE(serial.violation_found);
+  ASSERT_TRUE(parallel.violation_found);
+  // Identical failing scenario (the lowest-iteration violation)...
+  EXPECT_EQ(serial.failing.cfg.seed, parallel.failing.cfg.seed);
+  EXPECT_EQ(serial.violation.kind, parallel.violation.kind);
+  EXPECT_EQ(serial.violation.detail, parallel.violation.detail);
+  // ...and an identical serialized repro after shrinking.
+  EXPECT_EQ(check::repro_to_json(serial.shrunk, serial.shrunk_violation),
+            check::repro_to_json(parallel.shrunk, parallel.shrunk_violation));
+}
+
+}  // namespace
