@@ -21,6 +21,14 @@ parallel sweep (or written by separate bench invocations) plot together.
 
     ./build/bench/fig3a_counter_throughput --jobs 8 --json 3a.json
     scripts/plot_ascii.py --throughput 3a.json
+
+With --latency the input is a service --json artifact (docs/SERVICE.md):
+each run's p99 sojourn is plotted against its offered load, one series per
+label prefix. Runs without a "service" block are skipped, so mixed file
+sets (open-loop + closed-loop artifacts) still plot.
+
+    ./build/bench/service_counter --jobs 8 --json svc.json
+    scripts/plot_ascii.py --latency svc.json
 """
 import argparse
 import csv
@@ -41,6 +49,7 @@ STALL_BUCKETS = [
     ("udn-async-wait", "a"),
     ("spin", "~"),
     ("preempted", "P"),
+    ("svc-queue", "Q"),
 ]
 
 
@@ -149,6 +158,34 @@ def render_throughput(paths, width, height):
     render(header, xs, series, width, height)
 
 
+def render_latency(paths, width, height):
+    """Throughput-vs-tail-latency curves from open-loop service artifacts
+    (docs/SERVICE.md): each run's p99 sojourn is plotted against its offered
+    load, one series per label prefix. Runs without a "service" block (e.g.
+    closed-loop sweeps merged into the same file set) are skipped, so mixed
+    artifacts remain plottable."""
+    runs, bench = load_runs(paths)
+    points = {}  # series name -> {offered: p99}
+    for r in runs:
+        svc = r.get("service")
+        if not svc:
+            continue
+        offered = svc.get("offered_mops")
+        p99 = svc.get("sojourn", {}).get("p99")
+        if offered is None or p99 is None:
+            continue
+        name = r.get("label", "?").split("/")[0]
+        points.setdefault(name, {})[offered] = p99
+    if not points:
+        print("no runs with a service block in artifact")
+        return
+    xs = sorted({o for s in points.values() for o in s})
+    header = ["offered Mops/s"] + list(points)
+    series = [[points[name].get(o) for o in xs] for name in points]
+    print(f"p99 sojourn (cycles) vs offered load — {bench}")
+    render(header, xs, series, width, height)
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument(
@@ -168,12 +205,20 @@ def main():
         action="store_true",
         help="render results.mops vs config.app_threads from a --json artifact",
     )
+    ap.add_argument(
+        "--latency",
+        action="store_true",
+        help="render p99 sojourn vs offered load from service --json artifacts",
+    )
     args = ap.parse_args()
     if args.stalls:
         render_stalls(args.input, args.width)
         return 0
     if args.throughput:
         render_throughput(args.input, args.width, args.height)
+        return 0
+    if args.latency:
+        render_latency(args.input, args.width, args.height)
         return 0
     header, xs, series = load(args.input[0])
     render(header, xs, series, args.width, args.height)

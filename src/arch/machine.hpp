@@ -78,6 +78,18 @@ class Machine {
     for (auto& c : cores_) c.account.settle(t);
   }
 
+  /// Closes every core's account at run teardown. Unlike settle_accounts()
+  /// this takes the intended end-of-run time: Scheduler::run(horizon)
+  /// returns early when the event queue drains (open-loop runs where every
+  /// client is suspended awaiting arrivals), so sched().now() can sit
+  /// before the horizon and the tail [now, horizon) would never be
+  /// idle-filled — under-counting idle on cores that went quiet, and
+  /// leaving a never-worked core's account empty instead of all-idle.
+  void finalize_accounts(sim::Cycle run_end) {
+    const sim::Cycle t = run_end > sched_.now() ? run_end : sched_.now();
+    for (auto& c : cores_) c.account.finalize(t);
+  }
+
  private:
   MachineParams params_;
   sim::Tracer tracer_;

@@ -173,7 +173,7 @@ RecordResult record_history(const RecordCfg& cfg, sim::Perturber* perturber) {
       default: return sync::Ticket{0, apply(ctx, fn, arg), 0};
     }
   };
-  auto reap = [&](SimCtx& ctx, const sync::Ticket& t) -> std::uint64_t {
+  auto reap = [&](SimCtx& ctx, sync::Ticket& t) -> std::uint64_t {
     switch (cfg.construction) {
       case Construction::kMpServer: return mp.wait(ctx, t);
       case Construction::kHybComb: return hyb.wait(ctx, t);

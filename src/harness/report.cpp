@@ -63,6 +63,8 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     };
     if (std::strcmp(s, "--full") == 0) {
       a.full = true;
+    } else if (std::strcmp(s, "--quick") == 0) {
+      a.quick = true;
     } else if (std::strcmp(s, "--csv") == 0) {
       a.csv = next();
     } else if (std::strcmp(s, "--json") == 0) {
@@ -92,9 +94,9 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
         std::exit(2);
       }
     } else if (std::strcmp(s, "--help") == 0) {
-      std::cout << "flags: [--full] [--csv FILE] [--json FILE] [--trace FILE] "
-                   "[--threads N] [--window CYCLES] [--reps N] [--seed N] "
-                   "[--jobs N] [--mesh WxH]\n";
+      std::cout << "flags: [--full] [--quick] [--csv FILE] [--json FILE] "
+                   "[--trace FILE] [--threads N] [--window CYCLES] [--reps N] "
+                   "[--seed N] [--jobs N] [--mesh WxH]\n";
       std::exit(0);
     }
   }

@@ -44,6 +44,7 @@ std::string fmt(double v, int prec = 2);
 /// benches that honor it.
 struct BenchArgs {
   bool full = false;
+  bool quick = false;  ///< CI smoke mode: shortest meaningful sweep
   std::string csv;
   std::string json;   ///< metrics artifact path ("" = off)
   std::string trace;  ///< Chrome trace-event JSON path ("" = off)

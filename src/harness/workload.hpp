@@ -114,6 +114,17 @@ struct RunResult {
   // (fig4a reads its stall breakdown straight from this).
   obs::CycleAccount serv_account{};
   double serv_ops = 0;  ///< ops the servicing core's account is divided by
+  // Open-loop service metrics, filled only by run_service()
+  // (harness/service.hpp; zero elsewhere). Sojourn = completion - arrival;
+  // lat_p50/p99 above hold the sojourn percentiles for service runs.
+  double offered_mops = 0;       ///< offered load realized by the arrival
+                                 ///< process over the measurement window
+  double lat_p999 = 0;           ///< 99.9th-percentile sojourn, cycles
+  double lat_max = 0;            ///< worst sojourn observed, cycles
+  double queue_delay_mean = 0;   ///< arrival -> dispatch, cycles
+  double service_mean = 0;       ///< dispatch -> completion, cycles
+  std::uint64_t arrivals = 0;    ///< admitted arrivals in the window
+  std::uint64_t shed_ops = 0;    ///< arrivals dropped by admission control
 };
 
 /// Concurrent counter under the given approach (Figs. 3a-c, 4a-b; with

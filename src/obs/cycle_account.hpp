@@ -37,6 +37,7 @@ class CycleAccount {
     kUdnAsyncWait,    ///< reaping an async-delegation ticket (wait/wait_all)
     kSpin,            ///< explicit backoff / cpu_relax spinning
     kPreempted,       ///< injected preemption windows (sim/fault.hpp)
+    kSvcQueue,        ///< open-loop queueing delay: arrival to dispatch
     kIdle,            ///< nothing scheduled on this core
     kNumBuckets
   };
@@ -52,6 +53,7 @@ class CycleAccount {
       case kUdnAsyncWait: return "udn-async-wait";
       case kSpin: return "spin";
       case kPreempted: return "preempted";
+      case kSvcQueue: return "svc-queue";
       case kIdle: return "idle";
       default: return "?";
     }
@@ -76,6 +78,30 @@ class CycleAccount {
       b_[kIdle] += now - mark_;
       mark_ = now;
     }
+  }
+
+  /// Closes the account at run teardown. Identical idle-fill to settle(),
+  /// but also covers a core whose mark never moved (it never received
+  /// work): the whole [origin, now) interval becomes idle, keeping
+  /// total() == now - origin even when a run ends mid-interval. Kept as a
+  /// distinct entry point so teardown sites read as "close the books", and
+  /// so the final interval is closed exactly once per run.
+  void finalize(Cycle now) { settle(now); }
+
+  /// Moves up to `n` already-charged cycles from `from` to `to`, returning
+  /// the amount actually moved (clamped to the source bucket's balance);
+  /// total() is invariant. This is the carve-out primitive for derived
+  /// causes the charging sites cannot see: the service harness re-labels
+  /// the cycles a session core burned waiting on the construction while an
+  /// admitted arrival aged in its pending queue as svc-queue
+  /// (docs/SERVICE.md) — those cycles are the arrival's queueing delay,
+  /// already on the books under the mechanism (udn-recv-wait, spin, ...)
+  /// rather than the cause.
+  Cycle reclassify(Bucket from, Bucket to, Cycle n) {
+    const Cycle m = n < b_[from] ? n : b_[from];
+    b_[from] -= m;
+    b_[to] += m;
+    return m;
   }
 
   /// Zeroes the buckets and restarts the account at `now`.

@@ -154,6 +154,7 @@ JsonValue MetricsRegistry::sync_stats_json(const sync::SyncStats& s) {
   j["stall_timeouts"] = JsonValue(s.stall_timeouts);
   j["async_issued"] = JsonValue(s.async_issued);
   j["async_batched"] = JsonValue(s.async_batched);
+  j["shed_ops"] = JsonValue(s.shed_ops);
   return j;
 }
 

@@ -59,7 +59,8 @@ void Scheduler::wait_until(Cycle t) {
   // skip the schedule + pop + two context switches and just advance the
   // clock. Disallowed after stop() (the fiber must yield so run() can
   // return) and past the run() horizon (run() must regain control there).
-  if (!stop_requested_ && t <= horizon_ && queue_.fast_forward(t)) {
+  if (fast_forward_enabled_ && !stop_requested_ && t <= horizon_ &&
+      queue_.fast_forward(t)) {
     now_ = t;
     return;
   }

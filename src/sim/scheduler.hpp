@@ -58,6 +58,15 @@ class Scheduler {
     queue_.reserve(n, per_bucket);
   }
 
+  /// Enables/disables the wait_until() fast path (on by default). With it
+  /// off every wait schedules a resume and round-trips through the event
+  /// queue — the reference serial order. Tests assert golden-trace equality
+  /// between the two modes to pin the fast path's claim that nothing
+  /// observable changes (tests/test_sim_engine.cpp); everything else should
+  /// leave it on.
+  void set_fast_forward_enabled(bool on) { fast_forward_enabled_ = on; }
+  bool fast_forward_enabled() const { return fast_forward_enabled_; }
+
   /// Installs (or removes, with nullptr) a schedule perturber. Every fiber
   /// resume scheduled afterwards is offered to it; nothing else in the
   /// engine changes, so a null perturber keeps event order byte-identical
@@ -109,6 +118,7 @@ class Scheduler {
   Cycle horizon_ = kCycleMax;  ///< run() window; bounds the wait fast path
   FiberId current_ = kNoFiber;
   bool stop_requested_ = false;
+  bool fast_forward_enabled_ = true;
   Perturber* perturber_ = nullptr;
 };
 

@@ -111,4 +111,70 @@ class Histogram {
   Summary summary_;
 };
 
+/// Deterministic sample reservoir for tail quantiles (p99/p999): exact as
+/// long as the sample count stays within capacity, and deterministic —
+/// never randomized — beyond it, so two runs with the same seed produce
+/// byte-identical quantiles (the property every artifact test in this repo
+/// leans on; a classic randomized reservoir would need its own RNG stream
+/// threaded everywhere).
+///
+/// Overflow policy: when full, the reservoir halves itself by keeping every
+/// other sample (in arrival order) and from then on accepts every 2^k-th
+/// arrival. This is systematic decimation: the kept subsequence is an
+/// unbiased arrival-ordered thinning, which preserves quantiles of
+/// stationary streams and keeps periodic structure visible. Capacity
+/// defaults high enough that service benches stay exact.
+class Reservoir {
+ public:
+  explicit Reservoir(std::size_t capacity = 1 << 16)
+      : cap_(capacity < 2 ? 2 : capacity) {}
+
+  void add(std::uint64_t x) {
+    summary_.add(static_cast<double>(x));
+    ++seen_;
+    if (stride_ > 1 && (seen_ - 1) % stride_ != 0) return;
+    if (v_.size() == cap_) {
+      // Halve: keep arrivals 0, 2stride, 4stride, ... (every other kept one).
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < v_.size(); i += 2) v_[w++] = v_[i];
+      v_.resize(w);
+      stride_ *= 2;
+      if ((seen_ - 1) % stride_ != 0) return;
+    }
+    v_.push_back(x);
+  }
+
+  std::uint64_t count() const { return seen_; }
+  std::size_t kept() const { return v_.size(); }
+  const Summary& summary() const { return summary_; }
+
+  /// Exact quantile over the kept samples (nearest-rank on a sorted copy).
+  /// q in [0,1]; q=0.999 is the p999 the service harness reports.
+  std::uint64_t quantile(double q) const {
+    if (v_.empty()) return 0;
+    std::vector<std::uint64_t> s(v_);
+    std::sort(s.begin(), s.end());
+    double r = q * static_cast<double>(s.size() - 1);
+    if (r < 0) r = 0;
+    std::size_t i = static_cast<std::size_t>(r + 0.5);
+    if (i >= s.size()) i = s.size() - 1;
+    return s[i];
+  }
+
+  void merge(const Reservoir& o) {
+    // Merge keeps it simple: append o's kept samples (callers merge
+    // same-stride per-thread reservoirs well under capacity).
+    summary_.merge(o.summary_);
+    seen_ += o.seen_;
+    v_.insert(v_.end(), o.v_.begin(), o.v_.end());
+  }
+
+ private:
+  std::size_t cap_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t stride_ = 1;
+  std::vector<std::uint64_t> v_;
+  Summary summary_;
+};
+
 }  // namespace hmps::sim

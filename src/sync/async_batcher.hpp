@@ -45,20 +45,33 @@ class AsyncBatcher {
     args_[n_] = arg;
     ++n_;
     if (n_ < depth_) return 0;
-    return round(ctx);
+    return round(ctx, /*flush=*/false);
   }
 
   /// Issues and reaps whatever is buffered (a possibly short train);
   /// returns the number of operations completed. Call before reading
   /// workload state that buffered operations must have reached.
-  std::uint64_t drain(Ctx& ctx) { return round(ctx); }
+  std::uint64_t drain(Ctx& ctx) { return round(ctx, /*flush=*/false); }
+
+  /// Explicit partial-train flush for session teardown and open-loop lulls
+  /// (docs/SERVICE.md): without it a partially filled batch strands its
+  /// buffered operations until the next arrival tops the train up — which
+  /// in an open-loop lull may be arbitrarily far away, so the queued ops'
+  /// sojourn time grows without bound. Unlike drain(), every flushed op is
+  /// counted in SyncStats::async_batched (a short train is still a train:
+  /// the ops completed through the batching path, and the accounting must
+  /// not lose them just because the train was cut short).
+  std::uint64_t flush(Ctx& ctx) { return round(ctx, /*flush=*/true); }
 
   /// CS result of the most recently completed operation (the last op of
   /// the last train).
   std::uint64_t last_result() const { return last_; }
 
+  /// Completion stamp of the last train's final ticket (docs/SERVICE.md).
+  Cycle last_completed() const { return last_completed_; }
+
  private:
-  std::uint64_t round(Ctx& ctx) {
+  std::uint64_t round(Ctx& ctx, bool flush) {
     const std::uint32_t n = n_;
     if (n == 0) return 0;
     n_ = 0;
@@ -66,10 +79,11 @@ class AsyncBatcher {
     for (std::uint32_t i = 0; i < n; ++i) {
       t[i] = srv_.apply_async(ctx, ops_[i], args_[i]);
     }
-    if (n >= 2) srv_.stats(ctx.tid()).async_batched += n;
+    if (flush || n >= 2) srv_.stats(ctx.tid()).async_batched += n;
     for (std::uint32_t i = 0; i < n; ++i) {
       last_ = srv_.wait(ctx, t[i]);
     }
+    last_completed_ = t[n - 1].completed;
     return n;
   }
 
@@ -79,6 +93,7 @@ class AsyncBatcher {
   Op ops_[kMaxDepth] = {};
   std::uint64_t args_[kMaxDepth] = {};
   std::uint64_t last_ = 0;
+  Cycle last_completed_ = 0;
 };
 
 }  // namespace hmps::sync

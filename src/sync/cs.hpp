@@ -79,6 +79,15 @@ struct Ticket {
   std::uint64_t tag = 0;
   std::uint64_t value = 0;  ///< result, valid iff tag == 0
   std::uint32_t aux = 0;    ///< construction-private (e.g. ShmServer slot)
+  // Latency accounting (docs/SERVICE.md): stamped by the issuing
+  // construction. `issued` is the cycle apply_async() accepted the op;
+  // `completed` is the cycle the result became available to the client
+  // (inline completion stamps both at issue; wait()/wait_all() stamp
+  // `completed` when the reply is reaped). Sojourn time for an open-loop
+  // arrival is completed - arrival, of which completed - issued is the
+  // in-construction share.
+  Cycle issued = 0;
+  Cycle completed = 0;
 };
 
 /// Per-construction counters, exposed uniformly so the harness can report
@@ -95,6 +104,8 @@ struct SyncStats {
   // Asynchronous delegation (docs/MODEL.md §9):
   std::uint64_t async_issued = 0;    ///< apply_async() tickets issued
   std::uint64_t async_batched = 0;   ///< async ops sent in trains of >= 2
+  // Open-loop admission control (docs/SERVICE.md):
+  std::uint64_t shed_ops = 0;        ///< arrivals dropped by admission control
 
   void reset() { *this = SyncStats{}; }
 
@@ -109,6 +120,7 @@ struct SyncStats {
     stall_timeouts += o.stall_timeouts;
     async_issued += o.async_issued;
     async_batched += o.async_batched;
+    shed_ops += o.shed_ops;
   }
 
   /// Average requests executed per combining round (Fig. 4b).

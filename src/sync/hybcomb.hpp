@@ -118,7 +118,8 @@ class HybComb {
     // misframe behind the pending 3-word tagged replies; route through the
     // async path instead (docs/MODEL.md §9).
     if (async_[tid].outstanding > 0) {
-      return wait(ctx, apply_async(ctx, fn, arg));
+      Ticket t = apply_async(ctx, fn, arg);
+      return wait(ctx, t);
     }
     SyncStats& st = stats_[tid].s;
     Node* reg = nullptr;
@@ -143,22 +144,28 @@ class HybComb {
     AsyncSt& a = async_[tid];
     explore_point(ctx, "hyb.async_issue");
     const std::uint64_t tag = a.next_tag;
+    const Cycle issued = ctx.now();
     Node* reg = nullptr;
     if (try_register_send(ctx, fn, arg, tag, st, &reg)) {
       a.next_tag = a.next_tag == kAsyncTagMask ? 1 : a.next_tag + 1;
       ++st.async_issued;
       ++a.outstanding;
-      return Ticket{tag, 0, 0};
+      Ticket t{tag, 0, 0};
+      t.issued = issued;
+      return t;
     }
     ++st.async_issued;
-    return Ticket{0, combine_section(ctx, fn, arg, st), 0};
+    Ticket t{0, combine_section(ctx, fn, arg, st), 0};
+    t.issued = issued;
+    t.completed = ctx.now();
+    return t;
   }
 
   /// Reaps one ticket, returning its CS result. Must run on the issuing
   /// thread. Replies for other outstanding tickets arriving first are
   /// staged in the context (credits were already released combiner-side at
   /// serve time).
-  std::uint64_t wait(Ctx& ctx, const Ticket& t) {
+  std::uint64_t wait(Ctx& ctx, Ticket& t) {
     const Tid tid = ctx.tid();
     check_tid(tid, kMaxThreads, "HybComb::wait");
     AsyncSt& a = async_[tid];
@@ -167,6 +174,7 @@ class HybComb {
     std::uint64_t val;
     if (ctx.take_staged_reply(t.tag, &val)) {
       --a.outstanding;
+      t.completed = ctx.now();
       return val;
     }
     for (;;) {
@@ -178,6 +186,7 @@ class HybComb {
       const std::uint64_t got = reply_tag(m[0]);
       if (got == t.tag) {
         --a.outstanding;
+        t.completed = ctx.now();
         return m[1];
       }
       ctx.stage_reply(got, m[1]);

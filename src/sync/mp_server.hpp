@@ -45,7 +45,8 @@ class MpServer {
     const Tid tid = ctx.tid();
     check_tid(tid, kMaxThreads, "MpServer::apply");
     if (async_[tid].outstanding > 0) {
-      return wait(ctx, apply_async(ctx, fn, arg));
+      Ticket t = apply_async(ctx, fn, arg);
+      return wait(ctx, t);
     }
     obs::Span<Ctx> span(ctx, "mp.request");
     explore_point(ctx, "mp.pre_send");
@@ -77,13 +78,15 @@ class MpServer {
     ctx.send(server_, {pack_request_id(tid, tag), rt::to_word(fn), arg});
     ++st.async_issued;
     ++a.outstanding;
-    return Ticket{tag, 0, 0};
+    Ticket t{tag, 0, 0};
+    t.issued = ctx.now();
+    return t;
   }
 
   /// Reaps one ticket, returning its CS result. Must run on the issuing
   /// thread. Replies for other outstanding tickets arriving first are
   /// staged in the context for their own wait().
-  std::uint64_t wait(Ctx& ctx, const Ticket& t) {
+  std::uint64_t wait(Ctx& ctx, Ticket& t) {
     const Tid tid = ctx.tid();
     check_tid(tid, kMaxThreads, "MpServer::wait");
     AsyncSt& a = async_[tid];
@@ -92,6 +95,7 @@ class MpServer {
     std::uint64_t val;
     if (ctx.take_staged_reply(t.tag, &val)) {
       --a.outstanding;
+      t.completed = ctx.now();
       return val;
     }
     for (;;) {
@@ -101,6 +105,7 @@ class MpServer {
       const std::uint64_t got = reply_tag(m[0]);
       if (got == t.tag) {
         --a.outstanding;
+        t.completed = ctx.now();
         return m[1];
       }
       ctx.stage_reply(got, m[1]);

@@ -59,7 +59,8 @@ class MpServerHub {
     check_tid(tid, kMaxThreads, "MpServerHub::apply");
     assert(opcode >= 1 && opcode <= ops_.size());
     if (async_[tid].outstanding > 0) {
-      return wait(ctx, apply_async(ctx, opcode, arg));
+      Ticket t = apply_async(ctx, opcode, arg);
+      return wait(ctx, t);
     }
     obs::Span<Ctx> span(ctx, "hub.request");
     explore_point(ctx, "hub.pre_send");
@@ -90,11 +91,13 @@ class MpServerHub {
     ctx.send(server_, {pack_request_id(tid, tag), opcode, arg});
     ++st.async_issued;
     ++a.outstanding;
-    return Ticket{tag, 0, 0};
+    Ticket t{tag, 0, 0};
+    t.issued = ctx.now();
+    return t;
   }
 
   /// Reaps one ticket, returning its CS result (issuing thread only).
-  std::uint64_t wait(Ctx& ctx, const Ticket& t) {
+  std::uint64_t wait(Ctx& ctx, Ticket& t) {
     const Tid tid = ctx.tid();
     check_tid(tid, kMaxThreads, "MpServerHub::wait");
     AsyncSt& a = async_[tid];
@@ -103,6 +106,7 @@ class MpServerHub {
     std::uint64_t val;
     if (ctx.take_staged_reply(t.tag, &val)) {
       --a.outstanding;
+      t.completed = ctx.now();
       return val;
     }
     for (;;) {
@@ -112,6 +116,7 @@ class MpServerHub {
       const std::uint64_t got = reply_tag(m[0]);
       if (got == t.tag) {
         --a.outstanding;
+        t.completed = ctx.now();
         return m[1];
       }
       ctx.stage_reply(got, m[1]);

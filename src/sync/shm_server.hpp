@@ -86,7 +86,11 @@ class ShmServer {
       // No free slot: degrade to the synchronous channel (slot 0, which
       // async never occupies) and complete the ticket inline.
       ++st.async_issued;
-      return Ticket{0, apply(ctx, fn, arg), 0};
+      const Cycle issued = ctx.now();
+      Ticket t{0, apply(ctx, fn, arg), 0};
+      t.issued = issued;
+      t.completed = ctx.now();
+      return t;
     }
     obs::Span<Ctx> span(ctx, "shm.request");
     Channel& ch = chans_[chan_index(tid, slot)];
@@ -97,13 +101,15 @@ class ShmServer {
     ctx.store(&ch.req_seq, seq);
     a.busy_mask |= 1u << slot;
     ++st.async_issued;
-    return Ticket{seq, 0, slot};
+    Ticket t{seq, 0, slot};
+    t.issued = ctx.now();
+    return t;
   }
 
   /// Reaps one ticket: spins on its slot's resp_seq, then frees the slot.
   /// Must run on the issuing thread; tickets may be reaped in any order
   /// (each has its own cache line, so there is nothing to demux).
-  std::uint64_t wait(Ctx& ctx, const Ticket& t) {
+  std::uint64_t wait(Ctx& ctx, Ticket& t) {
     const Tid tid = ctx.tid();
     check_tid(tid, nclients_, "ShmServer::wait");
     if (t.tag == 0) return t.value;  // completed inline
@@ -111,6 +117,7 @@ class ShmServer {
     Channel& ch = chans_[chan_index(tid, t.aux)];
     while (ctx.load(&ch.resp_seq) != t.tag) ctx.cpu_relax();
     async_[tid].busy_mask &= ~(1u << t.aux);
+    t.completed = ctx.now();
     return ctx.load(&ch.ret);
   }
 

@@ -94,7 +94,7 @@ Result run_sim_async(AKind kind, std::uint32_t nclients,
     }
     return {};
   };
-  auto reap = [&](SimCtx& ctx, const sync::Ticket& t) -> std::uint64_t {
+  auto reap = [&](SimCtx& ctx, sync::Ticket& t) -> std::uint64_t {
     switch (kind) {
       case AKind::kMpServer: return mp.wait(ctx, t);
       case AKind::kMpServerHub: return hub.wait(ctx, t);
@@ -284,6 +284,40 @@ TEST(AsyncBatcher, TrainsCompleteAndCount) {
   EXPECT_EQ(mp.stats(1).async_batched, 10u);  // two 4-trains + one 2-train
 }
 
+// Partial-train flush: three ops buffered at depth 4 must complete when
+// flush() is called (the open-loop idle-flush path), and — unlike drain()'s
+// legacy accounting — the short train still counts as batched work. Without
+// the flush the three ops would sit in the buffer until a fourth arrival
+// tops the train up, which in an open-loop lull may never come.
+TEST(AsyncBatcher, FlushReapsPartialTrain) {
+  SimExecutor ex(arch::MachineParams::tilegx36(), 5);
+  MutexProbe probe;
+  sync::MpServer<SimCtx> mp(0, &probe);
+  std::uint64_t buffered_completed = 0;
+  std::uint64_t flush_completed = 0;
+  sim::Cycle completed_stamp = 0;
+  ex.add_thread([&](SimCtx& ctx) { mp.serve(ctx); });
+  ex.add_thread([&](SimCtx& ctx) {
+    sync::AsyncBatcher<SimCtx, sync::MpServer<SimCtx>> batch(mp, 4);
+    for (int k = 0; k < 3; ++k) {
+      buffered_completed += batch.add(ctx, probe_cs<SimCtx>, 0);
+    }
+    EXPECT_EQ(batch.buffered(), 3u);
+    flush_completed = batch.flush(ctx);
+    completed_stamp = batch.last_completed();
+    EXPECT_EQ(batch.buffered(), 0u);
+    EXPECT_EQ(batch.flush(ctx), 0u);  // empty flush is a no-op
+    mp.request_stop(ctx);
+  });
+  ex.run_until(sim::kCycleMax);
+  EXPECT_EQ(buffered_completed, 0u);  // depth never reached by add() alone
+  EXPECT_EQ(flush_completed, 3u);
+  EXPECT_EQ(probe.counter.value.load(), 3u);
+  EXPECT_EQ(mp.stats(1).async_issued, 3u);
+  EXPECT_EQ(mp.stats(1).async_batched, 3u);  // the short train is counted
+  EXPECT_GT(completed_stamp, 0u);  // tickets carry completion stamps
+}
+
 // ---- native backend: real threads, real races ----
 
 std::uint64_t run_native_async(AKind kind, std::uint32_t nclients,
@@ -327,7 +361,7 @@ std::uint64_t run_native_async(AKind kind, std::uint32_t nclients,
         }
         return {};
       };
-      auto reap = [&](const sync::Ticket& t) {
+      auto reap = [&](sync::Ticket& t) {
         switch (kind) {
           case AKind::kMpServer: mp.wait(ctx, t); break;
           case AKind::kMpServerHub: hub.wait(ctx, t); break;

@@ -46,6 +46,50 @@ TEST(CycleAccount, FullyOverlappedChargeIsClippedToNothing) {
   EXPECT_EQ(a.total(), 100u);
 }
 
+TEST(CycleAccount, FinalizeCoversCoreThatNeverReceivedWork) {
+  // Open-loop runs can end with the event queue drained before the
+  // intended horizon, and some cores (sessions past the last arrival, or
+  // cores no fiber was pinned to) never charge anything. finalize() must
+  // close the books so the sum invariant holds for them too.
+  CycleAccount idle_core;
+  idle_core.reset(100);
+  idle_core.finalize(5'000);  // mark never moved past the origin
+  EXPECT_EQ(idle_core.bucket(Bucket::kIdle), 4'900u);
+  EXPECT_EQ(idle_core.total(), 4'900u);
+  EXPECT_EQ(idle_core.total(), idle_core.mark() - idle_core.origin());
+
+  CycleAccount worked;
+  worked.reset(100);
+  worked.charge(Bucket::kCompute, 100, 150);
+  worked.finalize(300);  // tail [150, 300) becomes idle, as with settle()
+  EXPECT_EQ(worked.bucket(Bucket::kCompute), 50u);
+  EXPECT_EQ(worked.bucket(Bucket::kIdle), 150u);
+  EXPECT_EQ(worked.total(), 200u);
+
+  // finalize() twice (or finalize after settle) must not double-fill.
+  worked.finalize(300);
+  EXPECT_EQ(worked.total(), 200u);
+}
+
+TEST(CycleAccount, ReclassifyMovesCyclesAndPreservesTotal) {
+  CycleAccount a;
+  a.reset(0);
+  a.charge(Bucket::kUdnRecvWait, 0, 70);
+  a.charge(Bucket::kCompute, 70, 100);
+  // Carve 50 cycles of queueing delay out of the receive-wait bucket.
+  EXPECT_EQ(a.reclassify(Bucket::kUdnRecvWait, Bucket::kSvcQueue, 50), 50u);
+  EXPECT_EQ(a.bucket(Bucket::kUdnRecvWait), 20u);
+  EXPECT_EQ(a.bucket(Bucket::kSvcQueue), 50u);
+  EXPECT_EQ(a.total(), 100u);
+  // Overdraw clamps to the bucket's balance, never going negative.
+  EXPECT_EQ(a.reclassify(Bucket::kUdnRecvWait, Bucket::kSvcQueue, 1'000),
+            20u);
+  EXPECT_EQ(a.bucket(Bucket::kUdnRecvWait), 0u);
+  EXPECT_EQ(a.bucket(Bucket::kSvcQueue), 70u);
+  EXPECT_EQ(a.total(), 100u);
+  EXPECT_EQ(a.total(), a.mark() - a.origin());
+}
+
 TEST(CycleAccount, DiffSinceIsBucketwiseWindow) {
   CycleAccount a;
   a.reset(0);
