@@ -43,6 +43,8 @@ int main(int argc, char** argv) {
     cfg.seed = args.seed;
     if (args.window) cfg.window = args.window;
     if (args.reps) cfg.reps = args.reps;
+    cfg.telemetry_window = args.telemetry_window;
+    cfg.machine.model_link_contention |= args.noc;
     cfg.fixed_combiner =
         (a == Approach::kHybComb || a == Approach::kCcSynch);
     pool.submit(harness::approach_name(a),

@@ -41,6 +41,8 @@ int main(int argc, char** argv) {
     cfg.seed = args.seed;
     if (args.window) cfg.window = args.window;
     if (args.reps) cfg.reps = args.reps;
+    cfg.telemetry_window = args.telemetry_window;
+    cfg.machine.model_link_contention |= args.noc;
     // No think time: the measurement isolates the round-trip pipelining
     // (think cycles are an additive constant on both sides of the
     // comparison; Fig. 3a's think-time sweep keeps them).

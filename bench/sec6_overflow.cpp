@@ -82,6 +82,8 @@ void fault_scenarios(harness::Table& table, const harness::BenchArgs& args,
   cfg.window = args.window ? args.window : 150'000;
   cfg.reps = args.reps ? args.reps : 2;
   cfg.seed = args.seed;
+  cfg.telemetry_window = args.telemetry_window;
+  cfg.machine.model_link_contention |= args.noc;
   cfg.faults = fault_plan(args.seed);
 
   struct Scenario {

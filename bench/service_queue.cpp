@@ -35,6 +35,12 @@ int main(int argc, char** argv) {
   base.base.warmup = args.quick ? 20'000 : 60'000;
   base.base.window = args.window ? args.window : (args.quick ? 60'000 : 400'000);
   base.base.reps = args.reps ? args.reps : (args.quick ? 1 : 2);
+  base.base.telemetry_window = args.telemetry_window;
+  base.base.machine.model_link_contention |= args.noc;
+  if (args.mesh_w && args.mesh_h) {
+    base.base.machine.mesh_w = args.mesh_w;
+    base.base.machine.mesh_h = args.mesh_h;
+  }
   base.sessions = args.threads ? args.threads : 4;
   base.objects = 4;
   base.zipf_s = 0.9;

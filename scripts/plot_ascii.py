@@ -29,6 +29,24 @@ sets (open-loop + closed-loop artifacts) still plot.
 
     ./build/bench/service_counter --jobs 8 --json svc.json
     scripts/plot_ascii.py --latency svc.json
+
+With --timeline the input is a --json artifact from a run with
+--telemetry-window N (hmps-metrics-v2): for every run with a telemetry
+block, the per-window stall share, throughput and p99 sojourn are plotted
+against simulated time, each series normalized to its own peak (shown in
+the legend) so bursts and backlog drain line up on one chart.
+
+    ./build/bench/service_counter --telemetry-window 50000 --json svc.json
+    scripts/plot_ascii.py --timeline svc.json
+
+With --heatmap the same artifact's telemetry.link_grid is rendered as a
+mesh-utilization grid (two characters per router, ramp " .:-=+*#%@"),
+plus the hottest directed links. Links carry data only when the run
+modeled link contention (--noc); readable up to 16x16 meshes.
+
+    ./build/bench/service_counter --telemetry-window 50000 --noc \\
+        --mesh 16x16 --json svc.json
+    scripts/plot_ascii.py --heatmap svc.json
 """
 import argparse
 import csv
@@ -100,9 +118,10 @@ def render(header, xs, series, width, height):
 
 
 def load_runs(paths):
-    """Concatenates the runs of one or more hmps-metrics-v1 artifacts, in
-    the given file order (each artifact's own run order is its submission
-    order, so merged parallel sweeps read exactly like serial ones)."""
+    """Concatenates the runs of one or more hmps-metrics-v* artifacts
+    (v1 and v2 read identically here), in the given file order (each
+    artifact's own run order is its submission order, so merged parallel
+    sweeps read exactly like serial ones)."""
     runs, benches = [], []
     for path in paths:
         with open(path) as f:
@@ -186,6 +205,109 @@ def render_latency(paths, width, height):
     render(header, xs, series, width, height)
 
 
+# Memory-system stall buckets (CycleAccount::stalled()).
+STALLED_KEYS = ("coherence-read", "coherence-write", "atomic", "preempted")
+
+# Heatmap character ramp, blank (idle) to dense (peak utilization).
+RAMP = " .:-=+*#%@"
+
+
+def render_timeline(paths, width, height):
+    """Per-window stall share / throughput / p99 vs simulated time from the
+    telemetry block of an hmps-metrics-v2 artifact. Each series is
+    normalized to its own peak (absolute peaks go in the legend) so
+    differently-scaled quantities share one chart."""
+    runs, bench = load_runs(paths)
+    shown = 0
+    for r in runs:
+        tel = r.get("telemetry")
+        if not tel or not tel.get("ends"):
+            continue
+        ends = tel["ends"]
+        buckets = tel.get("buckets", {})
+        n = len(ends)
+        stalled = [
+            sum(buckets.get(k, [0] * n)[i] for k in STALLED_KEYS)
+            for i in range(n)
+        ]
+        total = [
+            sum(vals[i] for vals in buckets.values()) for i in range(n)
+        ] if buckets else [0] * n
+        # Bucket deltas are signed (reclassification across a window
+        # boundary can go negative); clamp the share into [0, 1].
+        shares = [min(1.0, max(0.0, s / t)) if t > 0 else 0.0
+                  for s, t in zip(stalled, total)]
+        series_defs = [("stall share", shares)]
+        if tel.get("throughput"):
+            series_defs.append(("throughput/window", tel["throughput"]))
+        if tel.get("sojourn_p99"):
+            series_defs.append(("p99 sojourn", tel["sojourn_p99"]))
+        names, norm = [], []
+        for name, vals in series_defs:
+            peak = max(vals) if vals else 0
+            norm.append([v / peak if peak else 0.0 for v in vals])
+            names.append(f"{name} (peak {peak:g})")
+        print(f"timeline — {r.get('label', '?')} ({bench}), "
+              f"window {tel.get('window', '?')} cycles")
+        render(["cycle"] + names, ends, norm, width, height)
+        shown += 1
+    if not shown:
+        print("no runs with a telemetry block in artifact "
+              "(rerun the bench with --telemetry-window N)")
+
+
+def render_heatmap(paths, width):
+    """Mesh link-utilization grid from telemetry.link_grid: one cell per
+    router (two characters wide), shaded by the mean hold share of its four
+    outgoing links, normalized to the hottest router. Per-link data exists
+    only when the run modeled link contention (--noc)."""
+    del width  # grid width is the mesh shape
+    runs, bench = load_runs(paths)
+    shown = 0
+    dirs = "EWNS"
+    for r in runs:
+        grid = (r.get("telemetry") or {}).get("link_grid")
+        if not grid or not grid.get("busy"):
+            continue
+        w, h = grid["mesh_w"], grid["mesh_h"]
+        elapsed = grid.get("elapsed", 0)
+        busy = grid["busy"]
+        wait = grid.get("wait", [0] * len(busy))
+        util = []
+        for y in range(h):
+            row = []
+            for x in range(w):
+                base = (y * w + x) * 4
+                tot = sum(busy[base:base + 4])
+                row.append(tot / (4.0 * elapsed) if elapsed else 0.0)
+            util.append(row)
+        peak = max(v for row in util for v in row)
+        print(f"NoC link-utilization heatmap — {r.get('label', '?')} "
+              f"({bench}), {w}x{h} mesh, peak router load {peak:.1%}")
+        if peak == 0:
+            print("  (all links idle — rerun the bench with --noc to model "
+                  "link contention)")
+        for row in util:
+            cells = "".join(
+                RAMP[int(v / peak * (len(RAMP) - 1)) if peak else 0] * 2
+                for v in row
+            )
+            print("  |" + cells + "|")
+        hot = sorted(
+            range(len(busy)), key=lambda i: busy[i] + wait[i], reverse=True
+        )[:5]
+        for i in hot:
+            if busy[i] + wait[i] == 0:
+                break
+            x, y, d = (i // 4) % w, i // (4 * w), dirs[i % 4]
+            print(f"   hot link ({x},{y})->{d}: busy {busy[i]} "
+                  f"wait {wait[i]} cycles")
+        shown += 1
+    if not shown:
+        print("no runs with telemetry.link_grid in artifact "
+              "(rerun the bench with --telemetry-window N)")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument(
@@ -210,6 +332,17 @@ def main():
         action="store_true",
         help="render p99 sojourn vs offered load from service --json artifacts",
     )
+    ap.add_argument(
+        "--timeline",
+        action="store_true",
+        help="render per-window stall/throughput/p99 vs time from the "
+        "telemetry block of a --telemetry-window artifact",
+    )
+    ap.add_argument(
+        "--heatmap",
+        action="store_true",
+        help="render the mesh link-utilization grid from telemetry.link_grid",
+    )
     args = ap.parse_args()
     if args.stalls:
         render_stalls(args.input, args.width)
@@ -219,6 +352,12 @@ def main():
         return 0
     if args.latency:
         render_latency(args.input, args.width, args.height)
+        return 0
+    if args.timeline:
+        render_timeline(args.input, args.width, args.height)
+        return 0
+    if args.heatmap:
+        render_heatmap(args.input, args.width)
         return 0
     header, xs, series = load(args.input[0])
     render(header, xs, series, args.width, args.height)

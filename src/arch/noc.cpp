@@ -97,6 +97,10 @@ Cycle NocModel::route(Tid src, Tid dst, Cycle inject_time,
     Cycle& b = busy_[*link];
     const Cycle start = b > t ? b : t;
     counters_.link_wait += start - t;
+    if (!link_busy_.empty()) {
+      link_busy_[*link] += hold;
+      link_wait_[*link] += start - t;
+    }
     // The link carries the message's flits back to back.
     b = start + hold;
     t = start + p_.hop;

@@ -59,6 +59,27 @@ class NocModel {
   const Counters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }
 
+  /// Optional per-link accumulators behind the telemetry heatmap
+  /// (docs/OBSERVABILITY.md): hold (flit occupancy) and wait cycles per
+  /// directed link, same indexing as the reservation array. Off by default
+  /// — enabling only observes, never changes a delivery time.
+  void enable_link_stats() {
+    if (link_busy_.empty()) {
+      link_busy_.assign(busy_.size(), 0);
+      link_wait_.assign(busy_.size(), 0);
+    }
+  }
+  bool link_stats_enabled() const { return !link_busy_.empty(); }
+  std::size_t n_links() const { return busy_.size(); }
+  /// Per-link hold cycles (message flits occupying the link). Empty unless
+  /// enable_link_stats() was called.
+  const std::vector<Cycle>& link_busy() const { return link_busy_; }
+  /// Per-link queueing cycles (messages waiting for the link). Empty unless
+  /// enable_link_stats() was called.
+  const std::vector<Cycle>& link_wait() const { return link_wait_; }
+  std::uint32_t mesh_w() const { return w_; }
+  std::uint32_t mesh_h() const { return h_; }
+
   // Directions out of each router (public: the table builder uses them).
   enum Dir : std::uint32_t { kEast, kWest, kNorth, kSouth, kDirs };
 
@@ -70,6 +91,8 @@ class NocModel {
   std::vector<Cycle> busy_;  ///< per-link reservation horizon (per-machine)
   std::shared_ptr<const RouteTable> routes_;  ///< shared, immutable
   Counters counters_;
+  std::vector<Cycle> link_busy_;  ///< per-link hold cycles (telemetry)
+  std::vector<Cycle> link_wait_;  ///< per-link wait cycles (telemetry)
 };
 
 }  // namespace hmps::arch

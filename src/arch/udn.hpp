@@ -115,6 +115,13 @@ class UdnModel {
     return bufs_[core].queues[queue].size();
   }
 
+  /// Words currently holding credits in a core's hardware buffer (resident
+  /// or in flight toward it) — the rx-queue-depth gauge obs::Telemetry
+  /// samples per window.
+  std::size_t buffer_occupancy(Tid core) const {
+    return bufs_[core].reserved;
+  }
+
   std::uint32_t n_queues() const { return static_cast<std::uint32_t>(nq_); }
 
   NocModel& noc() { return noc_; }
@@ -145,7 +152,12 @@ class UdnModel {
     std::uint64_t peak_occupancy = 0; ///< max words resident in one buffer
   };
   const Counters& counters() const { return counters_; }
-  void reset_counters() { counters_ = {}; }
+  /// Also resets the NoC's aggregate counters, so the post-warmup deltas
+  /// the artifact reports cover the same interval for both models.
+  void reset_counters() {
+    counters_ = {};
+    noc_.reset_counters();
+  }
 
  private:
   struct Waiter {

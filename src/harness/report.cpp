@@ -81,6 +81,10 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       a.seed = std::strtoull(next(), nullptr, 10);
     } else if (std::strcmp(s, "--jobs") == 0) {
       a.jobs = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(s, "--telemetry-window") == 0) {
+      a.telemetry_window = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(s, "--noc") == 0) {
+      a.noc = true;
     } else if (std::strcmp(s, "--mesh") == 0) {
       const char* v = next();
       char* end = nullptr;
@@ -96,7 +100,8 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     } else if (std::strcmp(s, "--help") == 0) {
       std::cout << "flags: [--full] [--quick] [--csv FILE] [--json FILE] "
                    "[--trace FILE] [--threads N] [--window CYCLES] [--reps N] "
-                   "[--seed N] [--jobs N] [--mesh WxH]\n";
+                   "[--seed N] [--jobs N] [--mesh WxH] "
+                   "[--telemetry-window CYCLES] [--noc]\n";
       std::exit(0);
     }
   }

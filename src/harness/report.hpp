@@ -41,7 +41,10 @@ std::string fmt(double v, int prec = 2);
 /// sweep benches (harness/run_pool.hpp); 0 resolves through $HMPS_JOBS,
 /// then hardware_concurrency. `--mesh` overrides the simulated mesh shape
 /// (e.g. 16x16 = 256 cores; docs/ENGINE.md's profiling appendix) on the
-/// benches that honor it.
+/// benches that honor it. `--telemetry-window N` turns on the windowed
+/// sampler (obs/telemetry.hpp) at an N-cycle cadence, and `--noc` enables
+/// the link-contention NoC model so the telemetry heatmap has per-link
+/// data (docs/OBSERVABILITY.md).
 struct BenchArgs {
   bool full = false;
   bool quick = false;  ///< CI smoke mode: shortest meaningful sweep
@@ -55,6 +58,8 @@ struct BenchArgs {
   std::uint32_t jobs = 0;     // run-pool workers; 0 = $HMPS_JOBS, then h/w
   std::uint32_t mesh_w = 0;   // 0 = bench default machine shape
   std::uint32_t mesh_h = 0;
+  std::uint64_t telemetry_window = 0;  // sampler cadence, cycles; 0 = off
+  bool noc = false;  // model link contention (per-link heatmap data)
 
   static BenchArgs parse(int argc, char** argv);
 };

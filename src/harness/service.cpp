@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
@@ -224,6 +225,27 @@ RunResult run_service(const ServiceCfg& cfg, Approach a) {
   std::uint64_t admitted_n = 0;   // arrivals admitted in the window
   std::uint64_t completed_n = 0;  // completions recorded in the window
 
+  // Windowed sampling (off unless base.telemetry_window > 0): per-window
+  // sojourn percentiles, throughput, admission-queue depth, sheds, and the
+  // construction's backlog gauge — the time-resolved view of this run.
+  obs::Telemetry tel(ex.machine(), {base.telemetry_window});
+  if (tel.enabled()) {
+    tel.enable_completion_stream();
+    tel.add_gauge("admission_queue", [&pend] {
+      std::uint64_t n = 0;
+      for (const auto& q : pend) n += q.size();
+      return n;
+    });
+    if (a == Approach::kMpServer) {
+      tel.add_gauge("server_inflight", [&mp] { return mp.inflight(); });
+    } else if (a == Approach::kHybComb) {
+      tel.add_gauge("combiner_inflight",
+                    [&hyb] { return hyb.combiner_inflight(); });
+    }
+    tel.add_counter("shed_ops", [&sum_stats] { return sum_stats().shed_ops; });
+    tel.add_counter("offered", [&offered_n] { return offered_n; });
+  }
+
   // Carves an arrival's queueing delay out of the session core's account:
   // while the arrival aged in the pending queue, the core was burning
   // cycles on the *previous* operation — mostly waiting on the
@@ -249,6 +271,7 @@ RunResult run_service(const ServiceCfg& cfg, Approach a) {
     queue_delay.add(static_cast<double>(t_disp - t_arr));
     service_time.add(static_cast<double>(t_done - t_disp));
     ++completed_n;
+    tel.record_completion(t_done - t_arr);
   };
 
   // ---- session fibers ----
@@ -372,11 +395,15 @@ RunResult run_service(const ServiceCfg& cfg, Approach a) {
   ex.run_until(base.warmup);
   ex.machine().reset_window_counters();
   const SyncStats stats0 = sum_stats();
+  // Baseline after the reset: every account starts from zero at t_meas0,
+  // so the per-bucket window sums telescope to the final cycle_accounts.
+  tel.start(t_meas0, t_end);
   ex.run_until(t_end);
   // Close the books even if the event queue drained before t_end (all
   // sessions idle past the last arrival): the tail must become idle time
   // or the per-core accounts under-cover the window.
   ex.machine().finalize_accounts(t_end);
+  tel.flush(t_end);
   const SyncStats stat_delta = diff_stats(sum_stats(), stats0);
 
   RunResult r;
@@ -463,6 +490,9 @@ RunResult run_service(const ServiceCfg& cfg, Approach a) {
     for (std::uint32_t core = 0; core < ex.machine().cores(); ++core) {
       accts.push_back(MetricsRegistry::cycle_account_json(
           ex.machine().core(core).account));
+    }
+    if (tel.enabled()) {
+      run["telemetry"] = tel.to_json();
     }
     if (tracing) {
       run["trace"] = MetricsRegistry::tracer_json(ex.machine().tracer());

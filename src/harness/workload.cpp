@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
 
@@ -100,6 +101,10 @@ struct DriverHooks {
   std::vector<std::function<void(SimCtx&)>> servers;
   // Sums construction stats over all thread slots.
   std::function<SyncStats()> sum_stats;
+  // Registers construction-specific telemetry gauges (server inflight
+  // credits, combiner queue length). Called once before the warmup when
+  // cfg.telemetry_window > 0; may be empty.
+  std::function<void(obs::Telemetry&)> register_telemetry;
 };
 
 RunResult drive(const RunCfg& cfg, DriverHooks hooks) {
@@ -165,10 +170,17 @@ RunResult drive(const RunCfg& cfg, DriverHooks hooks) {
     return s;
   };
 
+  obs::Telemetry tel(ex.machine(), {cfg.telemetry_window});
+  if (tel.enabled() && hooks.register_telemetry) hooks.register_telemetry(tel);
+
   ex.run_until(cfg.warmup);
   measuring = true;
   const Snapshot first = snap();
   Snapshot prev = first;
+  // Baseline right after the run-level snapshot (snap() settled the
+  // accounts), so per-bucket window sums telescope to exactly the
+  // run-level cycle_accounts deltas below.
+  tel.start(ex.sched().now(), ex.sched().now() + cfg.reps * cfg.window);
 
   RunResult r;
   std::vector<double> rep_mops;
@@ -226,6 +238,9 @@ RunResult drive(const RunCfg& cfg, DriverHooks hooks) {
     r.total_ops += dops;
     prev = cur;
   }
+  // The last snap() settled the accounts at the final window boundary;
+  // close telemetry's final window against those same values.
+  tel.flush(ex.sched().now());
 
   double mean = 0;
   for (double m : rep_mops) mean += m;
@@ -308,6 +323,9 @@ RunResult drive(const RunCfg& cfg, DriverHooks hooks) {
     for (std::size_t core = 0; core < prev.accounts.size(); ++core) {
       accts.push_back(MetricsRegistry::cycle_account_json(
           prev.accounts[core].diff_since(first.accounts[core])));
+    }
+    if (tel.enabled()) {
+      run["telemetry"] = tel.to_json();
     }
     if (tracing) {
       run["trace"] = MetricsRegistry::tracer_json(ex.machine().tracer());
@@ -403,6 +421,14 @@ RunResult run_counter(const RunCfg& cfg, Approach a) {
       return 1;
     };
   }
+  hooks.register_telemetry = [&, a](obs::Telemetry& tel) {
+    if (a == Approach::kMpServer) {
+      tel.add_gauge("server_inflight", [&mp] { return mp.inflight(); });
+    } else if (a == Approach::kHybComb) {
+      tel.add_gauge("combiner_inflight",
+                    [&hyb] { return hyb.combiner_inflight(); });
+    }
+  };
   hooks.sum_stats = [&, a]() {
     SyncStats sum;
     for (std::uint32_t t = 0; t < 64; ++t) {

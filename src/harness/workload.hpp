@@ -87,6 +87,10 @@ struct RunCfg {
                                       ///< HYBCOMB, SHM-SERVER counter runs
                                       ///< and the MP1 queue). 0/1 = classic
                                       ///< synchronous apply().
+  sim::Cycle telemetry_window = 0;    ///< >0: obs::Telemetry sampling cadence
+                                      ///< in cycles; the artifact run gains a
+                                      ///< `telemetry` block (0 = off, no
+                                      ///< events scheduled)
   RunObs obs{};                       ///< observability sinks (all off)
 };
 

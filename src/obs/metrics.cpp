@@ -20,7 +20,9 @@ namespace hmps::obs {
 
 MetricsRegistry::MetricsRegistry() {
   root_ = JsonValue::object();
-  root_["schema"] = JsonValue("hmps-metrics-v1");
+  // v2 (this PR): adds machine.noc counters and the optional per-run
+  // telemetry block. Readers stay tolerant of v1 (docs/OBSERVABILITY.md).
+  root_["schema"] = JsonValue("hmps-metrics-v2");
 }
 
 void MetricsRegistry::stamp(const std::string& bench, int argc, char** argv) {
@@ -116,6 +118,13 @@ JsonValue MetricsRegistry::machine_json(arch::Machine& m) {
   udn["sender_blocks"] = JsonValue(uc.sender_blocks);
   udn["peak_occupancy"] = JsonValue(uc.peak_occupancy);
   j["udn"] = std::move(udn);
+
+  const auto& nc = m.udn().noc().counters();
+  JsonValue noc = JsonValue::object();
+  noc["messages"] = JsonValue(nc.messages);
+  noc["hops"] = JsonValue(nc.hops);
+  noc["link_wait"] = JsonValue(nc.link_wait);
+  j["noc"] = std::move(noc);
 
   const auto& fc = m.faults().counters();
   JsonValue faults = JsonValue::object();

@@ -1,0 +1,173 @@
+// Time-resolved telemetry: a deterministic windowed sampler driven by the
+// simulation's own event queue.
+//
+// Every run-level number the repo reports is a start/end delta; this layer
+// cuts the same quantities into fixed-cadence windows so burst behavior
+// (MMPP arrivals, combiner tenure churn, mesh hot spots) becomes visible
+// over time. The tick is an ordinary scheduled event, so windows land at
+// identical simulated times on every host — artifacts are byte-identical
+// across --jobs 1 and --jobs N — and a run with telemetry off schedules no
+// events at all, keeping golden traces bit-identical to pre-telemetry
+// builds (the zero-observer-effect bar docs/OBSERVABILITY.md sets).
+//
+// Observer-effect discipline. A tick only *reads*: it snapshots each core's
+// CycleAccount as-is (it deliberately does NOT settle accounts — settling
+// moves watermarks, which would change how later charges clip and thereby
+// the final attribution). Windows are therefore diffs of raw monotonic
+// snapshots, and because start() baselines against the same snapshot the
+// harness uses for its run-level delta and flush() closes at the same final
+// snapshot, the per-bucket window sums telescope to exactly the run-level
+// totals (tests/test_telemetry.cpp asserts this invariant). Bucket deltas
+// are *signed*: CycleAccount::reclassify() can retroactively move cycles
+// charged before a window boundary (the service harness's queue-delay
+// carving), making a later window's delta negative for the source bucket —
+// the signed series keeps the telescoping sum exact anyway.
+//
+// Per window the sampler captures:
+//   * CycleAccount bucket deltas, aggregated over all cores (plus core 0
+//     alone, the server/combiner core in every bench topology),
+//   * NoC message and link_wait deltas, plus a per-link busy/wait grid
+//     accumulated in arch::NocModel for the --heatmap renderer,
+//   * instantaneous UDN rx-buffer occupancy (sum of per-core credits),
+//   * registered gauges (sampled) and counters (delta'd) — server inflight
+//     credits, combiner queue length, admission-queue depth, sheds,
+//   * when the completion stream is on (harness::run_service): completions
+//     per window and per-window sojourn p50/p99/max from a fresh
+//     sim::Reservoir per window — SLO violations get a timestamp.
+//
+// Emission: to_json() renders the artifact's `telemetry` block
+// (hmps-metrics-v2), and each tick writes Perfetto counter samples
+// (ph "C") through the machine's tracer when tracing is enabled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "obs/cycle_account.hpp"
+#include "obs/json.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace hmps::obs {
+
+class Telemetry {
+ public:
+  struct Config {
+    sim::Cycle window = 0;  ///< sampling cadence in cycles; 0 disables
+    std::size_t reservoir_cap = 4096;  ///< per-window sojourn reservoir
+  };
+
+  /// Reads one uint64 from live simulation state. Must be pure observation
+  /// (no model calls) — it runs inside the tick event.
+  using GaugeFn = std::function<std::uint64_t()>;
+
+  /// Enabling (window > 0) switches on the NoC's per-link accumulators;
+  /// everything else waits for start().
+  Telemetry(arch::Machine& m, Config cfg);
+
+  bool enabled() const { return cfg_.window > 0; }
+  sim::Cycle window() const { return cfg_.window; }
+
+  /// Registers an instantaneous gauge, sampled once per tick. Register
+  /// before start(); names become counter tracks ("tel.gauge.<name>") and
+  /// artifact keys, in registration order.
+  void add_gauge(std::string name, GaugeFn fn);
+
+  /// Registers a cumulative counter; each window reports its delta
+  /// (track "tel.ctr.<name>").
+  void add_counter(std::string name, GaugeFn fn);
+
+  /// Opts into the completion stream: the harness will call
+  /// record_completion() per finished operation, and every window reports
+  /// throughput and sojourn percentiles (tracks "tel.throughput",
+  /// "tel.sojourn.p99").
+  void enable_completion_stream() { completion_stream_ = true; }
+
+  /// One completed operation with the given sojourn (arrival to response).
+  /// Call only between start() and flush().
+  void record_completion(sim::Cycle sojourn);
+
+  /// Baselines every sampled quantity at `t0` and arms ticks at t0 + k*W
+  /// for every k with t0 + k*W < t_end; flush() closes the final (possibly
+  /// partial) window. No-op when disabled.
+  void start(sim::Cycle t0, sim::Cycle t_end);
+
+  /// Closes the last window at `t_end` (idempotent). Call after the run's
+  /// final account settle/finalize so the window sums telescope to the
+  /// run-level totals.
+  void flush(sim::Cycle t_end);
+
+  /// The artifact's `telemetry` block. Call after flush().
+  JsonValue to_json() const;
+
+ private:
+  struct Track {
+    std::string name;
+    GaugeFn fn;
+    const char* track_name = nullptr;  ///< interned Perfetto track
+    std::uint64_t prev = 0;            ///< counters only: last snapshot
+  };
+
+  struct Window {
+    sim::Cycle end = 0;
+    // Signed: the open-loop service harness retroactively reclassifies
+    // already-charged cycles (queue-delay carving, docs/SERVICE.md), so a
+    // bucket's delta across a window boundary can be negative. Signed
+    // deltas keep the telescoping invariant exact: per-bucket sums over
+    // all windows equal the run-level totals regardless of when the
+    // reclassification lands.
+    std::int64_t buckets[CycleAccount::kNumBuckets] = {};
+    std::int64_t core0[CycleAccount::kNumBuckets] = {};
+    std::uint64_t rx_words = 0;       ///< instantaneous at window end
+    std::uint64_t noc_messages = 0;   ///< delta
+    std::uint64_t noc_link_wait = 0;  ///< delta
+    std::uint64_t completions = 0;
+    std::uint64_t p50 = 0, p99 = 0, max = 0;
+    std::vector<std::uint64_t> gauges;
+    std::vector<std::uint64_t> counters;
+  };
+
+  void arm(sim::Cycle t);
+  void close_window(sim::Cycle t);
+
+  arch::Machine& m_;
+  Config cfg_;
+  bool completion_stream_ = false;
+  bool started_ = false;
+  bool flushed_ = false;
+  sim::Cycle start_ = 0;
+  sim::Cycle end_ = 0;
+  sim::Cycle last_close_ = 0;
+
+  std::vector<Track> gauges_;
+  std::vector<Track> counters_;
+
+  // Baselines advanced at every window close.
+  std::vector<CycleAccount> prev_accounts_;
+  std::uint64_t prev_noc_messages_ = 0;
+  std::uint64_t prev_noc_link_wait_ = 0;
+
+  // Run-start per-link baselines for the heatmap grid (the NoC accumulates
+  // since machine construction; the grid should cover the measured run).
+  std::vector<sim::Cycle> base_link_busy_;
+  std::vector<sim::Cycle> base_link_wait_;
+
+  // Current window's completion stream.
+  sim::Reservoir sojourn_{2};
+  std::uint64_t win_completions_ = 0;
+  std::uint64_t win_max_sojourn_ = 0;
+
+  // Interned counter-track names, resolved once at start().
+  const char* trk_bucket_[CycleAccount::kNumBuckets] = {};
+  const char* trk_rx_words_ = nullptr;
+  const char* trk_link_wait_ = nullptr;
+  const char* trk_throughput_ = nullptr;
+  const char* trk_p99_ = nullptr;
+
+  std::vector<Window> windows_;
+};
+
+}  // namespace hmps::obs

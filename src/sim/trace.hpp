@@ -2,10 +2,14 @@
 // and writes them as Chrome trace-event JSON (open https://ui.perfetto.dev
 // or chrome://tracing and load the file).
 //
-// Three record kinds (docs/OBSERVABILITY.md):
+// Four record kinds (docs/OBSERVABILITY.md):
 //   * duration events (ph "X"): what a core was doing over [start, start+dur)
 //   * flow events (ph "s"/"f"): one arrow per UDN message from the sending
 //     core to the delivering core, keyed by a monotonically assigned flow id
+//   * counter samples (ph "C"): the value of a named counter track at a
+//     timestamp — the obs::Telemetry windowed sampler emits one per track
+//     per window, so Perfetto draws stall share, throughput and queue
+//     depths as time series under the spans
 //   * metadata (ph "M"): process/thread names, synthesized at write time
 //
 // Disabled by default: the hot-path cost is one branch, and recording never
@@ -20,6 +24,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -74,6 +79,31 @@ class Tracer {
     flow(core, name, ts, id, Phase::kFlowEnd);
   }
 
+  /// Counter sample (ph "C"): the named track holds `value` at `ts`. Like
+  /// event(), `name` must outlive the tracer — intern() dynamically built
+  /// track names.
+  void counter(Tid core, const char* name, Cycle ts, std::uint64_t value) {
+    if (!enabled_) return;
+    if (events_.size() >= max_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(Event{name, ts, value, 0, core, pid_, Phase::kCounter});
+  }
+
+  /// Copies a dynamically built name (telemetry counter tracks) into
+  /// tracer-owned storage and returns a pointer that stays valid for the
+  /// tracer's lifetime — including across merge_from(), which transfers
+  /// ownership of the source tracer's interned names. Deduplicated, so
+  /// per-window re-interning of a stable track set costs a lookup only.
+  const char* intern(const std::string& name) {
+    for (const auto& s : interned_) {
+      if (*s == name) return s->c_str();
+    }
+    interned_.push_back(std::make_unique<std::string>(name));
+    return interned_.back()->c_str();
+  }
+
   std::size_t size() const { return events_.size(); }
   /// Events discarded because the `max_events` cap was reached.
   std::uint64_t dropped() const { return dropped_; }
@@ -98,6 +128,10 @@ class Tracer {
     for (auto& [pid, name] : other.proc_names_) {
       set_process_name(pid, std::move(name));
     }
+    // Take ownership of the interned name storage the moved events point
+    // into (the unique_ptr targets never move, so the pointers stay valid).
+    for (auto& s : other.interned_) interned_.push_back(std::move(s));
+    other.interned_.clear();
     other.clear();
     other.proc_names_.clear();
   }
@@ -156,6 +190,17 @@ class Tracer {
              << R"(,"pid":)" << e.pid << R"(,"tid":)" << e.core
              << R"(,"ts":)" << e.start << "}";
           break;
+        case Phase::kCounter:
+          // The sampled value rides in the `dur` slot (counters have no
+          // duration); Perfetto keys counter tracks by (pid, name). The
+          // value prints signed: windowed bucket deltas can go negative
+          // when cycles are retroactively reclassified across a window
+          // boundary (obs::Telemetry).
+          os << R"({"name":")" << obs::json_escape(e.name)
+             << R"(","ph":"C","pid":)" << e.pid << R"(,"tid":)" << e.core
+             << R"(,"ts":)" << e.start << R"(,"args":{"value":)"
+             << static_cast<std::int64_t>(e.dur) << "}}";
+          break;
       }
     }
     if (!first) os << "\n";
@@ -175,7 +220,7 @@ class Tracer {
   }
 
  private:
-  enum class Phase : std::uint8_t { kComplete, kFlowStart, kFlowEnd };
+  enum class Phase : std::uint8_t { kComplete, kFlowStart, kFlowEnd, kCounter };
 
   struct Event {
     const char* name;
@@ -214,6 +259,7 @@ class Tracer {
   std::uint64_t last_flow_id_ = 0;
   std::vector<Event> events_;
   std::vector<std::pair<std::uint32_t, std::string>> proc_names_;
+  std::vector<std::unique_ptr<std::string>> interned_;
 };
 
 }  // namespace hmps::sim

@@ -218,6 +218,14 @@ class HybComb {
     return stats_[t].s;
   }
 
+  /// Credits held against the last registered combiner's node — a proxy for
+  /// the active combiner's queue length (0 when the overflow guard is off).
+  /// Telemetry gauge: plain snapshot reads, never synchronizing.
+  std::uint64_t combiner_inflight() const {
+    const Node* n = rt::from_word<Node>(lrc_.load(std::memory_order_relaxed));
+    return n ? n->inflight.load(std::memory_order_relaxed) : 0;
+  }
+
  private:
   // Line 2: Node{thread_id, n_ops, combining_done}. One cache line each;
   // n_ops is the FAA hot word.

@@ -166,6 +166,12 @@ class MpServer {
     return stats_[t].s;
   }
 
+  /// Requests currently holding an overflow-guard credit (0 when the guard
+  /// is off). Telemetry gauge — a plain snapshot read, never synchronizing.
+  std::uint64_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct alignas(rt::kCacheLine) PaddedStats {
     SyncStats s;

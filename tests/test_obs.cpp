@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "arch/params.hpp"
@@ -144,6 +145,73 @@ TEST(Json, ParserRejectsGarbage) {
   EXPECT_FALSE(JsonValue::parse("\"unterminated", &v));
 }
 
+TEST(Json, ParserDecodesEveryEscape) {
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(JsonValue::parse(R"("\" \\ \/ \b \f \n \r \t")", &v, &err))
+      << err;
+  EXPECT_EQ(v.as_string(), "\" \\ / \b \f \n \r \t");
+  // \u escapes cover the 1-, 2- and 3-byte UTF-8 ranges (BMP only).
+  ASSERT_TRUE(JsonValue::parse("\"\\u0041\\u00e9\\u20AC\"", &v, &err)) << err;
+  EXPECT_EQ(v.as_string(), "A\xC3\xA9\xE2\x82\xAC");
+  // Malformed escapes are errors, not silently dropped bytes.
+  EXPECT_FALSE(JsonValue::parse(R"("\uZZZZ")", &v));
+  EXPECT_FALSE(JsonValue::parse(R"("\u00")", &v));  // short
+  EXPECT_FALSE(JsonValue::parse(R"("\q")", &v));    // unknown escape
+  EXPECT_FALSE(JsonValue::parse("\"dangling\\", &v));
+}
+
+TEST(Json, Uint64BoundaryValuesRoundTrip) {
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(JsonValue::parse("18446744073709551615", &v, &err)) << err;
+  EXPECT_EQ(v.as_uint(), 18446744073709551615ull);
+  EXPECT_EQ(v.dump(-1), "18446744073709551615");
+  ASSERT_TRUE(JsonValue::parse("-9223372036854775808", &v, &err)) << err;
+  EXPECT_EQ(v.as_int(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(v.dump(-1), "-9223372036854775808");
+  ASSERT_TRUE(JsonValue::parse("0", &v, &err)) << err;
+  EXPECT_EQ(v.as_uint(), 0u);
+}
+
+TEST(Json, DeeplyNestedDocumentRoundTrips) {
+  constexpr int kDepth = 200;
+  std::string text;
+  for (int i = 0; i < kDepth; ++i) text += "[";
+  text += "7";
+  for (int i = 0; i < kDepth; ++i) text += "]";
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(JsonValue::parse(text, &v, &err)) << err;
+  const JsonValue* p = &v;
+  for (int i = 0; i < kDepth; ++i) {
+    ASSERT_EQ(p->size(), 1u) << "level " << i;
+    p = &p->items()[0];
+  }
+  EXPECT_EQ(p->as_uint(), 7u);
+  // The writer's output (whatever its layout) must re-parse to a stable
+  // fixed point at this depth.
+  JsonValue again;
+  ASSERT_TRUE(JsonValue::parse(v.dump(), &again, &err)) << err;
+  EXPECT_EQ(again.dump(), v.dump());
+}
+
+TEST(Json, TruncatedInputsAreRejectedNotCrashed) {
+  // Every prefix of a valid document must fail cleanly (the artifact
+  // readers parse files that may have been cut off mid-write).
+  const std::string full =
+      R"({"a":[1,{"b":"x\n"},true],"c":null,"d":1.5e3})";
+  JsonValue v;
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    std::string err;
+    EXPECT_FALSE(JsonValue::parse(full.substr(0, n), &v, &err))
+        << "prefix length " << n;
+    EXPECT_FALSE(err.empty()) << "prefix length " << n;
+  }
+  std::string err;
+  EXPECT_TRUE(JsonValue::parse(full, &v, &err)) << err;
+}
+
 TEST(MetricsRegistry, StampedDocumentRoundTripsThroughDisk) {
   obs::MetricsRegistry reg;
   const char* argv[] = {const_cast<char*>("bench"),
@@ -161,7 +229,7 @@ TEST(MetricsRegistry, StampedDocumentRoundTripsThroughDisk) {
   JsonValue doc;
   std::string err;
   ASSERT_TRUE(JsonValue::parse(ss.str(), &doc, &err)) << err;
-  EXPECT_EQ(doc.find("schema")->as_string(), "hmps-metrics-v1");
+  EXPECT_EQ(doc.find("schema")->as_string(), "hmps-metrics-v2");
   EXPECT_EQ(doc.find("bench")->as_string(), "fig_test");
   EXPECT_EQ(doc.find("argv")->size(), 3u);
   EXPECT_TRUE(doc.has("git"));

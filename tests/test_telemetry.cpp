@@ -1,0 +1,308 @@
+// Tests for obs::Telemetry (docs/OBSERVABILITY.md): the windowed sampler
+// must (a) telescope — per-bucket window sums equal the run-level
+// cycle_accounts exactly, (b) have zero observer effect — enabling it
+// changes no simulated outcome and adds only ph:"C" counter samples to the
+// trace, and (c) keep the artifact byte-identical across --jobs 1 and
+// --jobs N with telemetry on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/artifact.hpp"
+#include "harness/run_pool.hpp"
+#include "harness/service.hpp"
+#include "harness/workload.hpp"
+#include "obs/cycle_account.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace hmps {
+namespace {
+
+using harness::Approach;
+using obs::CycleAccount;
+using obs::JsonValue;
+
+harness::RunCfg small_cfg() {
+  harness::RunCfg cfg;
+  cfg.app_threads = 3;
+  cfg.warmup = 20'000;
+  cfg.window = 50'000;
+  cfg.reps = 2;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::uint64_t sum_series(const JsonValue& arr) {
+  std::uint64_t s = 0;
+  for (const JsonValue& v : arr.items()) s += v.as_uint();
+  return s;
+}
+
+// Bucket window deltas are signed (reclassify can pull cycles back across
+// a window boundary); only their telescoped sum must match the unsigned
+// run-level totals.
+std::int64_t sum_signed(const JsonValue& arr) {
+  std::int64_t s = 0;
+  for (const JsonValue& v : arr.items()) s += v.as_int();
+  return s;
+}
+
+// --- telescoping: window sums == run-level cycle_accounts ------------------
+
+TEST(Telemetry, CounterRunWindowSumsTelescopeToRunTotals) {
+  obs::MetricsRegistry reg;
+  harness::RunCfg cfg = small_cfg();
+  cfg.telemetry_window = 20'000;
+  // Route messages through the XY-wormhole model so the NoC counters and
+  // the per-window noc series are live (the --noc bench flag).
+  cfg.machine.model_link_contention = true;
+  cfg.obs.metrics = &reg;
+  cfg.obs.label = "mp-server";
+  (void)harness::run_counter(cfg, Approach::kMpServer);
+
+  ASSERT_EQ(reg.root()["runs"].size(), 1u);
+  const JsonValue& run = reg.root()["runs"].items()[0];
+  ASSERT_TRUE(run.has("telemetry"));
+  const JsonValue* tel = run.find("telemetry");
+  EXPECT_EQ(tel->find("window")->as_uint(), 20'000u);
+
+  // warmup 20k + 2 * 50k measured: ticks at 40/60/80/100k (strictly before
+  // the end), flush closes the final window at 120k.
+  ASSERT_EQ(tel->find("n_windows")->as_uint(), 5u);
+  const JsonValue* ends = tel->find("ends");
+  ASSERT_EQ(ends->size(), 5u);
+  EXPECT_EQ(ends->items()[0].as_uint(), 40'000u);
+  EXPECT_EQ(ends->items()[4].as_uint(), 120'000u);
+
+  const JsonValue* accts = run.find("cycle_accounts");
+  ASSERT_GT(accts->size(), 0u);
+  const JsonValue* buckets = tel->find("buckets");
+  const JsonValue* core0 = tel->find("core0_buckets");
+  for (int b = 0; b < CycleAccount::kNumBuckets; ++b) {
+    const char* name =
+        CycleAccount::bucket_name(static_cast<CycleAccount::Bucket>(b));
+    ASSERT_TRUE(buckets->has(name)) << name;
+    ASSERT_EQ(buckets->find(name)->size(), 5u) << name;
+    std::uint64_t run_total = 0;
+    for (const JsonValue& a : accts->items()) {
+      run_total += a.find(name)->as_uint();
+    }
+    // Exact, not approximate: the sampler baselines at the same snapshot
+    // the harness uses and flushes after the final settle.
+    EXPECT_EQ(sum_signed(*buckets->find(name)),
+              static_cast<std::int64_t>(run_total))
+        << name;
+    EXPECT_EQ(sum_signed(*core0->find(name)),
+              static_cast<std::int64_t>(
+                  accts->items()[0].find(name)->as_uint()))
+        << name;
+  }
+
+  // Satellite: the machine block now exports NoC counters, and an
+  // MP-SERVER run pushes real messages through the mesh.
+  const JsonValue* noc = run.find("machine")->find("noc");
+  ASSERT_NE(noc, nullptr);
+  EXPECT_GT(noc->find("messages")->as_uint(), 0u);
+  EXPECT_GT(noc->find("hops")->as_uint(), 0u);
+  EXPECT_GT(sum_series(*tel->find("noc")->find("messages")), 0u);
+}
+
+TEST(Telemetry, ServiceRunTelescopesAndCountsEveryCompletion) {
+  obs::MetricsRegistry reg;
+  harness::ServiceCfg cfg;
+  cfg.base = small_cfg();
+  cfg.base.window = 60'000;
+  cfg.base.reps = 1;
+  cfg.base.telemetry_window = 15'000;
+  cfg.base.obs.metrics = &reg;
+  cfg.base.obs.label = "mp-server/o4";
+  cfg.sessions = 4;
+  cfg.offered_mops = 4.0;
+  const harness::RunResult r =
+      harness::run_service(cfg, Approach::kMpServer);
+
+  ASSERT_EQ(reg.root()["runs"].size(), 1u);
+  const JsonValue& run = reg.root()["runs"].items()[0];
+  ASSERT_TRUE(run.has("telemetry"));
+  const JsonValue* tel = run.find("telemetry");
+  // t_meas0 20k .. t_end 80k, cadence 15k: ticks 35/50/65k + flush at 80k.
+  ASSERT_EQ(tel->find("n_windows")->as_uint(), 4u);
+
+  const JsonValue* accts = run.find("cycle_accounts");
+  const JsonValue* buckets = tel->find("buckets");
+  for (int b = 0; b < CycleAccount::kNumBuckets; ++b) {
+    const char* name =
+        CycleAccount::bucket_name(static_cast<CycleAccount::Bucket>(b));
+    std::uint64_t run_total = 0;
+    for (const JsonValue& a : accts->items()) {
+      run_total += a.find(name)->as_uint();
+    }
+    EXPECT_EQ(sum_signed(*buckets->find(name)),
+              static_cast<std::int64_t>(run_total))
+        << name;
+  }
+
+  // The completion stream is on: every admitted completion lands in
+  // exactly one window, and the offered counter covers every arrival.
+  ASSERT_TRUE(tel->has("throughput"));
+  ASSERT_EQ(tel->find("throughput")->size(), 4u);
+  ASSERT_EQ(tel->find("sojourn_p99")->size(), 4u);
+  EXPECT_EQ(sum_series(*tel->find("throughput")), r.total_ops);
+  const JsonValue* ctrs = tel->find("counters");
+  ASSERT_NE(ctrs, nullptr);
+  EXPECT_EQ(sum_series(*ctrs->find("offered")), r.arrivals + r.shed_ops);
+  EXPECT_EQ(sum_series(*ctrs->find("shed_ops")), r.shed_ops);
+  const JsonValue* gauges = tel->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_TRUE(gauges->has("admission_queue"));
+  EXPECT_TRUE(gauges->has("server_inflight"));
+}
+
+// --- zero observer effect ---------------------------------------------------
+
+TEST(Telemetry, EnablingChangesNoSimulatedOutcome) {
+  const harness::RunResult off =
+      harness::run_counter(small_cfg(), Approach::kHybComb);
+  harness::RunCfg cfg = small_cfg();
+  cfg.telemetry_window = 10'000;
+  const harness::RunResult on =
+      harness::run_counter(cfg, Approach::kHybComb);
+
+  EXPECT_EQ(off.total_ops, on.total_ops);
+  EXPECT_EQ(off.mops, on.mops);
+  EXPECT_EQ(off.lat_mean, on.lat_mean);
+  EXPECT_EQ(off.lat_p50, on.lat_p50);
+  EXPECT_EQ(off.lat_p99, on.lat_p99);
+  EXPECT_EQ(off.serv_stall_per_op, on.serv_stall_per_op);
+  for (int b = 0; b < CycleAccount::kNumBuckets; ++b) {
+    const auto bucket = static_cast<CycleAccount::Bucket>(b);
+    EXPECT_EQ(off.serv_account.bucket(bucket), on.serv_account.bucket(bucket))
+        << CycleAccount::bucket_name(bucket);
+  }
+}
+
+// Chrome-trace event lines (one JSON object per line), trailing commas
+// stripped so the last-line difference doesn't leak into comparisons.
+std::vector<std::string> event_lines(const sim::Tracer& t) {
+  std::ostringstream ss;
+  t.write_chrome_json(ss);
+  std::vector<std::string> out;
+  std::istringstream in(ss.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '{') continue;  // header/footer
+    if (line.back() == ',') line.pop_back();
+    out.push_back(line);
+  }
+  return out;
+}
+
+TEST(Telemetry, TraceGainsOnlyCounterSamples) {
+  auto traced = [](sim::Cycle tw) {
+    sim::Tracer sink;
+    harness::RunCfg cfg = small_cfg();
+    cfg.telemetry_window = tw;
+    cfg.obs.trace = &sink;
+    cfg.obs.label = "mp-server";
+    (void)harness::run_counter(cfg, Approach::kMpServer);
+    return event_lines(sink);
+  };
+  const std::vector<std::string> off = traced(0);
+  const std::vector<std::string> on = traced(20'000);
+
+  std::vector<std::string> on_sans_counters;
+  std::size_t counters = 0;
+  for (const std::string& l : on) {
+    if (l.find("\"ph\":\"C\"") != std::string::npos) {
+      ++counters;
+      EXPECT_NE(l.find("\"tel."), std::string::npos) << l;
+    } else {
+      on_sans_counters.push_back(l);
+    }
+  }
+  // Telemetry off: no counter events at all (golden traces unchanged).
+  for (const std::string& l : off) {
+    EXPECT_EQ(l.find("\"ph\":\"C\""), std::string::npos) << l;
+  }
+  // Telemetry on: the counter samples are a pure addition — every other
+  // event is byte-identical and in the same order.
+  EXPECT_EQ(on_sans_counters, off);
+  // One sample per track per window: 11 buckets + rx_words + link_wait +
+  // the MP-SERVER inflight gauge, over 5 windows.
+  EXPECT_EQ(counters, 5u * (CycleAccount::kNumBuckets + 3));
+}
+
+// --- artifact identity across job counts ------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+void run_sweep(const std::string& json, const std::string& trace,
+               std::uint32_t jobs) {
+  const char* argv[] = {const_cast<char*>("sweep")};
+  harness::BenchArgs args;
+  args.json = json;
+  args.trace = trace;
+  harness::RunArtifacts art(args, "sweep", 1, const_cast<char**>(argv));
+  harness::RunPool pool(art, jobs);
+  for (std::uint32_t t : {2u, 3u}) {
+    harness::RunCfg cfg = small_cfg();
+    cfg.app_threads = t;
+    cfg.telemetry_window = 15'000;
+    for (Approach a : {Approach::kMpServer, Approach::kHybComb}) {
+      pool.submit(std::string(harness::approach_name(a)) + "/t" +
+                      std::to_string(t),
+                  [cfg, a](const harness::RunObs& obs) {
+                    harness::RunCfg c = cfg;
+                    c.obs = obs;
+                    return harness::run_counter(c, a);
+                  });
+    }
+  }
+  pool.drain();
+  art.finalize();
+}
+
+TEST(Telemetry, ArtifactBytesIdenticalAcrossJobCounts) {
+  const std::string j1 = ::testing::TempDir() + "hmps_tel_j1.json";
+  const std::string t1 = ::testing::TempDir() + "hmps_tel_j1.trace.json";
+  const std::string j4 = ::testing::TempDir() + "hmps_tel_j4.json";
+  const std::string t4 = ::testing::TempDir() + "hmps_tel_j4.trace.json";
+  run_sweep(j1, t1, 1);
+  run_sweep(j4, t4, 4);
+  const std::string serial = slurp(j1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_NE(serial.find("\"telemetry\""), std::string::npos);
+  EXPECT_EQ(serial, slurp(j4));
+  const std::string serial_trace = slurp(t1);
+  ASSERT_FALSE(serial_trace.empty());
+  EXPECT_NE(serial_trace.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_EQ(serial_trace, slurp(t4));
+}
+
+// Telemetry stays inert (no block, no events) when the window is zero.
+TEST(Telemetry, DisabledRunEmitsNoTelemetryBlock) {
+  obs::MetricsRegistry reg;
+  harness::RunCfg cfg = small_cfg();
+  cfg.obs.metrics = &reg;
+  cfg.obs.label = "mp-server";
+  (void)harness::run_counter(cfg, Approach::kMpServer);
+  const JsonValue& run = reg.root()["runs"].items()[0];
+  EXPECT_FALSE(run.has("telemetry"));
+  // v2 schema is stamped regardless: the noc block is always present.
+  EXPECT_EQ(reg.root()["schema"].as_string(), "hmps-metrics-v2");
+  EXPECT_TRUE(run.find("machine")->has("noc"));
+}
+
+}  // namespace
+}  // namespace hmps
