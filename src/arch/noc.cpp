@@ -81,7 +81,31 @@ std::shared_ptr<const RouteTable> shared_route_table(std::uint32_t w,
 NocModel::NocModel(const MachineParams& p, const MeshTopology& topo)
     : p_(p), topo_(topo), w_(p.mesh_w), h_(p.mesh_h),
       busy_(static_cast<std::size_t>(w_) * h_ * kDirs, 0),
-      routes_(shared_route_table(w_, h_)) {}
+      routes_(shared_route_table(w_, h_)) {
+  // Multi-chip machines pay chip_hop_extra on every link that crosses a
+  // chip boundary. The route table stays a pure function of the mesh shape
+  // (and shared process-wide); the per-link surcharge lives here, in a
+  // per-machine vector indexed like the reservation array. Empty on a
+  // single chip so route() skips the lookup entirely.
+  if (p.chips() > 1 && p.chip_hop_extra > 0) {
+    const std::uint32_t cw = p.chip_w(), ch = p.chip_h();
+    link_extra_.assign(busy_.size(), 0);
+    for (std::uint32_t y = 0; y < h_; ++y) {
+      for (std::uint32_t x = 0; x < w_; ++x) {
+        const std::size_t base =
+            (static_cast<std::size_t>(y) * w_ + x) * kDirs;
+        // East/west links cross when the column boundary between x and its
+        // neighbor is a chip edge; north/south likewise for rows.
+        if (x + 1 < w_ && (x + 1) % cw == 0)
+          link_extra_[base + kEast] = p.chip_hop_extra;
+        if (x > 0 && x % cw == 0) link_extra_[base + kWest] = p.chip_hop_extra;
+        if (y + 1 < h_ && (y + 1) % ch == 0)
+          link_extra_[base + kSouth] = p.chip_hop_extra;
+        if (y > 0 && y % ch == 0) link_extra_[base + kNorth] = p.chip_hop_extra;
+      }
+    }
+  }
+}
 
 Cycle NocModel::route(Tid src, Tid dst, Cycle inject_time,
                       std::uint32_t words) {
@@ -93,6 +117,7 @@ Cycle NocModel::route(Tid src, Tid dst, Cycle inject_time,
   const std::uint32_t* link = routes_->links.data() + routes_->offs[pair];
   const std::uint32_t* end = routes_->links.data() + routes_->offs[pair + 1];
   const bool jitter = faults_ && faults_->active();
+  const bool chips = !link_extra_.empty();
   for (; link != end; ++link) {
     Cycle& b = busy_[*link];
     const Cycle start = b > t ? b : t;
@@ -104,6 +129,7 @@ Cycle NocModel::route(Tid src, Tid dst, Cycle inject_time,
     // The link carries the message's flits back to back.
     b = start + hold;
     t = start + p_.hop;
+    if (chips) t += link_extra_[*link];
     if (jitter) t += faults_->hop_jitter();
     ++counters_.hops;
   }

@@ -80,6 +80,10 @@ class NocModel {
   std::uint32_t mesh_w() const { return w_; }
   std::uint32_t mesh_h() const { return h_; }
 
+  /// Extra latency charged on inter-chip links, per link index; empty on a
+  /// single-chip machine (arch/params.hpp multi-chip block).
+  const std::vector<Cycle>& link_extra() const { return link_extra_; }
+
   // Directions out of each router (public: the table builder uses them).
   enum Dir : std::uint32_t { kEast, kWest, kNorth, kSouth, kDirs };
 
@@ -93,6 +97,8 @@ class NocModel {
   Counters counters_;
   std::vector<Cycle> link_busy_;  ///< per-link hold cycles (telemetry)
   std::vector<Cycle> link_wait_;  ///< per-link wait cycles (telemetry)
+  std::vector<Cycle> link_extra_; ///< per-link inter-chip surcharge (empty
+                                  ///< unless chips() > 1)
 };
 
 }  // namespace hmps::arch

@@ -80,7 +80,29 @@ struct MachineParams {
   bool model_link_contention = false;
   Cycle fence_cost = 3;              ///< local cost of a full memory fence
 
+  // --- multi-chip topology ---
+  // Beyond one die: the global mesh_w × mesh_h mesh is tiled by a grid of
+  // chips_x × chips_y chips, each chip owning an equal rectangle of tiles.
+  // Links that cross a chip boundary (SerDes + package crossing) pay
+  // chip_hop_extra cycles on top of the normal per-hop latency. The
+  // defaults (1×1 grid) describe a single chip and add nothing, keeping
+  // every single-chip trace and artifact bit-identical. A chip grid that
+  // does not evenly divide the mesh is treated as 1×1 on that axis.
+  std::uint32_t chips_x = 1;   ///< chip-grid columns (must divide mesh_w)
+  std::uint32_t chips_y = 1;   ///< chip-grid rows (must divide mesh_h)
+  Cycle chip_hop_extra = 20;   ///< extra latency per inter-chip link crossing
+
   std::uint32_t cores() const { return mesh_w * mesh_h; }
+  std::uint32_t chips() const { return chips_x * chips_y; }
+
+  /// Tiles per chip along X, honoring the divisibility rule.
+  std::uint32_t chip_w() const {
+    return (chips_x > 1 && mesh_w % chips_x == 0) ? mesh_w / chips_x : mesh_w;
+  }
+  /// Tiles per chip along Y.
+  std::uint32_t chip_h() const {
+    return (chips_y > 1 && mesh_h % chips_y == 0) ? mesh_h / chips_y : mesh_h;
+  }
 
   /// Tilera TILE-Gx8036: the paper's platform. 36 cores, hybrid.
   static MachineParams tilegx36() { return MachineParams{}; }

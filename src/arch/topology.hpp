@@ -19,7 +19,13 @@ struct Coord {
 class MeshTopology {
  public:
   explicit MeshTopology(const MachineParams& p)
-      : w_(p.mesh_w), h_(p.mesh_h), hop_(p.hop), router_(p.router) {
+      : w_(p.mesh_w),
+        h_(p.mesh_h),
+        hop_(p.hop),
+        router_(p.router),
+        chip_w_(p.chip_w()),
+        chip_h_(p.chip_h()),
+        chip_extra_(p.chips() > 1 ? p.chip_hop_extra : 0) {
     assert(w_ > 0 && h_ > 0);
     // Memory controllers sit at the vertical midpoints of the left and
     // right mesh edges (mirroring the TILE-Gx's edge-attached controllers);
@@ -62,12 +68,35 @@ class MeshTopology {
     return manhattan(coord(core), ctrls_[ctrl % ctrls_.size()]);
   }
 
+  /// Chip-boundary crossings on the XY route between two coordinates.
+  /// Dimension-ordered routing walks X then Y, so the crossing count is
+  /// exactly the chip-grid Manhattan distance — independent of which
+  /// boundary column/row the route threads through.
+  std::uint32_t chip_crossings(Coord a, Coord b) const {
+    if (chip_extra_ == 0) return 0;
+    return static_cast<std::uint32_t>(
+        std::abs(a.x / static_cast<std::int32_t>(chip_w_) -
+                 b.x / static_cast<std::int32_t>(chip_w_)) +
+        std::abs(a.y / static_cast<std::int32_t>(chip_h_) -
+                 b.y / static_cast<std::int32_t>(chip_h_)));
+  }
+
+  std::uint32_t chip_crossings(sim::Tid a, sim::Tid b) const {
+    return chip_crossings(coord(a), coord(b));
+  }
+
   /// One-way message latency between two tiles.
-  Cycle wire(sim::Tid a, sim::Tid b) const { return router_ + hop_ * hops(a, b); }
+  Cycle wire(sim::Tid a, sim::Tid b) const {
+    const Coord ca = coord(a), cb = coord(b);
+    return router_ + hop_ * manhattan(ca, cb) +
+           chip_extra_ * chip_crossings(ca, cb);
+  }
 
   /// One-way latency from a tile to a memory controller.
   Cycle wire_to_ctrl(sim::Tid core, std::uint32_t ctrl) const {
-    return router_ + hop_ * hops_to_ctrl(core, ctrl);
+    const Coord ca = coord(core), cb = ctrls_[ctrl % ctrls_.size()];
+    return router_ + hop_ * manhattan(ca, cb) +
+           chip_extra_ * chip_crossings(ca, cb);
   }
 
   /// Home tile of a cache line: lines are hash-distributed over all tiles
@@ -87,6 +116,8 @@ class MeshTopology {
  private:
   std::uint32_t w_, h_;
   Cycle hop_, router_;
+  std::uint32_t chip_w_ = 0, chip_h_ = 0;  ///< tiles per chip per axis
+  Cycle chip_extra_ = 0;  ///< per-boundary-crossing latency (0 = one chip)
   std::vector<Coord> ctrls_;
   std::vector<Coord> coords_;  ///< coord(c) for every core, precomputed
 };

@@ -32,7 +32,7 @@ void usage() {
       "  --construction LIST   comma-separated subset (default: all):\n"
       "                        mp_server,hybcomb,shm_server,ccsynch,\n"
       "                        dsm_synch,flat_combining,hsynch,oyama,\n"
-      "                        mcs_lock,mp_server_hub\n"
+      "                        mcs_lock,mp_server_hub,sharded\n"
       "  --object LIST         counter,queue,stack,lcrq,elim_stack\n"
       "  --fuzz-machines       also draw random machine parameters\n"
       "  --inject-bug N        seed the test-only HybComb defect (drop every\n"
@@ -72,11 +72,11 @@ bool split_list(const std::string& arg, std::vector<std::string>* out) {
 
 void print_scenario(const char* tag, const check::Scenario& s) {
   std::printf(
-      "%s: %s on %s, %u threads x %u ops, max_ops %llu, machine %s, "
-      "seed %llu\n",
+      "%s: %s on %s, %u threads x %u ops, max_ops %llu, shards %u, "
+      "machine %s, seed %llu\n",
       tag, harness::to_string(s.cfg.construction),
       harness::to_string(s.cfg.object), s.cfg.threads, s.cfg.ops_each,
-      static_cast<unsigned long long>(s.cfg.max_ops),
+      static_cast<unsigned long long>(s.cfg.max_ops), s.cfg.shards,
       s.cfg.params.name.c_str(),
       static_cast<unsigned long long>(s.cfg.seed));
   std::printf(

@@ -33,34 +33,58 @@ Violation check_history(const Scenario& s,
                 " threads did not finish by cycle " +
                 std::to_string(s.cfg.horizon)};
   }
-  const auto& h = res.history;
-  CheckResult fast{};
   const char* kind = "";
+  harness::CheckResult (*fast_check)(const std::vector<harness::OpRecord>&) =
+      nullptr;
   harness::SeqSpec spec;
   switch (s.cfg.object) {
     case Object::kCounter:
-      fast = harness::check_counter_fast(h);
+      fast_check = harness::check_counter_fast;
       kind = "counter";
       spec = harness::counter_spec();
       break;
     case Object::kQueue:
     case Object::kLcrq:
-      fast = harness::check_queue_fast(h);
+      fast_check = harness::check_queue_fast;
       kind = "queue";
       spec = harness::queue_spec();
       break;
     case Object::kStack:
     case Object::kElimStack:
-      fast = harness::check_stack_fast(h);
+      fast_check = harness::check_stack_fast;
       kind = "stack";
       spec = harness::stack_spec();
       break;
   }
-  if (!fast.ok) return {true, kind, fast.reason};
-  if (h.size() <= kCompleteMax) {
-    const CheckResult full =
-        harness::linearizable(h, spec, kCompleteNodeBudget);
-    if (!full.ok) return {true, "lin", full.reason};
+  // Histories are checked per object: single-object runs have every record
+  // at obj 0 (one partition, the original behavior); sharded farm runs
+  // split into per-object sub-histories, each of which must be
+  // linearizable on its own (a cross-shard queue_transfer contributes a
+  // deq record to the source object and an enq record to the destination,
+  // both spanning the transfer's full bracket — docs/MODEL.md §10).
+  std::vector<std::uint32_t> ids;
+  for (const auto& op : res.history) {
+    if (std::find(ids.begin(), ids.end(), op.obj) == ids.end()) {
+      ids.push_back(op.obj);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const std::uint32_t id : ids) {
+    std::vector<harness::OpRecord> h;
+    for (const auto& op : res.history) {
+      if (op.obj == id) h.push_back(op);
+    }
+    const CheckResult fast = fast_check(h);
+    if (!fast.ok) {
+      return {true, kind, "obj " + std::to_string(id) + ": " + fast.reason};
+    }
+    if (h.size() <= kCompleteMax) {
+      const CheckResult full =
+          harness::linearizable(h, spec, kCompleteNodeBudget);
+      if (!full.ok) {
+        return {true, "lin", "obj " + std::to_string(id) + ": " + full.reason};
+      }
+    }
   }
   return {};
 }
@@ -93,6 +117,9 @@ Scenario draw_scenario(sim::Xoshiro256& r, const ExploreCfg& ecfg,
   const std::uint64_t async_depth = r.between(2, 4);
   s.cfg.async_depth =
       async_roll == 0 ? static_cast<std::uint32_t>(async_depth) : 0;
+  // Shard count is always drawn (stream alignment); clamp_cfg resets it to
+  // 1 for every non-sharded construction.
+  s.cfg.shards = static_cast<std::uint32_t>(r.between(2, 4));
 
   // Occasional fault-window sweep on top of the schedule perturbation.
   if (r.below(4) == 0) {
@@ -116,7 +143,8 @@ Scenario draw_scenario(sim::Xoshiro256& r, const ExploreCfg& ecfg,
 
   s.perturb.seed = s.cfg.seed ^ 0x5C4ED;
   s.perturb.nthreads =
-      s.cfg.threads + (harness::uses_server(s.cfg.construction) ? 1 : 0);
+      s.cfg.threads +
+      harness::server_threads(s.cfg.construction, s.cfg.shards);
   s.perturb.change_points = static_cast<std::uint32_t>(r.between(0, 4));
   s.perturb.change_interval = r.between(10'000, 200'000);
   s.perturb.resume_permille = static_cast<std::uint32_t>(r.between(0, 250));
@@ -165,7 +193,18 @@ Scenario shrink(const Scenario& failing, Violation* out_violation,
       }
       cand.perturb.nthreads =
           cand.cfg.threads +
-          (harness::uses_server(cand.cfg.construction) ? 1 : 0);
+          harness::server_threads(cand.cfg.construction, cand.cfg.shards);
+      if (!still_fails(cand)) break;
+      progress = true;
+    }
+    // 1b. Fewer shards (sharded fleet only; floor 2 keeps the cross-shard
+    // paths — dropping to 1 would shrink away the bug class under test).
+    while (best.cfg.shards > 2) {
+      Scenario cand = best;
+      cand.cfg.shards = best.cfg.shards - 1;
+      cand.perturb.nthreads =
+          cand.cfg.threads +
+          harness::server_threads(cand.cfg.construction, cand.cfg.shards);
       if (!still_fails(cand)) break;
       progress = true;
     }

@@ -63,12 +63,29 @@ inline arch::MachineParams random_machine(std::uint64_t seed) {
 inline void clamp_cfg(harness::RecordCfg& cfg) {
   const std::uint32_t cores = cfg.params.cores();
   if (cfg.threads < 2) cfg.threads = 2;
+  // The sharded fleet drives a farm of CS objects only: the direct
+  // concurrent structures map to their CS-driven cousins, and the shard
+  // count stays in [2, 8] (2 keeps cross-shard transfers reachable, 8 is
+  // plenty against the <= 8x8 fuzz meshes).
+  if (cfg.construction == harness::Construction::kSharded) {
+    if (cfg.object == harness::Object::kLcrq) {
+      cfg.object = harness::Object::kQueue;
+    }
+    if (cfg.object == harness::Object::kElimStack) {
+      cfg.object = harness::Object::kStack;
+    }
+    cfg.shards = std::clamp<std::uint32_t>(cfg.shards, 2, 8);
+  } else {
+    cfg.shards = 1;
+  }
   const bool server = harness::uses_server(cfg.construction) &&
                       cfg.object != harness::Object::kLcrq &&
                       cfg.object != harness::Object::kElimStack;
+  const std::uint32_t nsrv =
+      server ? harness::server_threads(cfg.construction, cfg.shards) : 0;
   if (server) {
-    cfg.threads =
-        std::min<std::uint32_t>(cfg.threads, cores > 2 ? cores - 1 : 2);
+    cfg.threads = std::min<std::uint32_t>(
+        cfg.threads, cores > nsrv + 1 ? cores - nsrv : 2);
   }
   // Async trains only exist for the ticket-API constructions on CS-driven
   // objects; everything else runs the classic synchronous loop.
@@ -78,7 +95,7 @@ inline void clamp_cfg(harness::RecordCfg& cfg) {
     cfg.async_depth = 0;
   }
   cfg.async_depth = std::min<std::uint32_t>(cfg.async_depth, 16);
-  const std::uint32_t total = cfg.threads + (server ? 1 : 0);
+  const std::uint32_t total = cfg.threads + nsrv;
   if (total > cores || server || cfg.async_depth >= 2) {
     // Oversubscribed cores share one hardware buffer between up to 3 demux
     // queues; size it for one request per client plus responses. Async
@@ -89,8 +106,14 @@ inline void clamp_cfg(harness::RecordCfg& cfg) {
     // registrants' request sends push against the remainder, so a buffer
     // sized for the synchronous protocol can wedge the active combiner's
     // reply send (three-way cycle, found by exploration).
+    // The sharded fleet triples the bound: on top of every client's
+    // requests, a shard's buffer may hold one forwarded enqueue and one
+    // ack per outstanding cross-shard transfer (bounded by the same
+    // outstanding-ops count), so worst-case residency per client is
+    // request + forward + ack frames (docs/SHARDING.md).
     const std::uint32_t per_client =
-        3 * std::max<std::uint32_t>(1, cfg.async_depth);
+        3 * std::max<std::uint32_t>(1, cfg.async_depth) *
+        (cfg.construction == harness::Construction::kSharded ? 3 : 1);
     cfg.params.udn_buf_words = std::max<std::uint32_t>(
         cfg.params.udn_buf_words, per_client * cfg.threads + 8);
   }

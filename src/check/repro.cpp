@@ -110,6 +110,9 @@ bool machine_from_json(const JsonValue& j, arch::MachineParams* p,
   ok &= get_u64(j, "udn_recv_word", &p->udn_recv_word);
   ok &= get_bool(j, "model_link_contention", &p->model_link_contention);
   ok &= get_u64(j, "fence_cost", &p->fence_cost);
+  ok &= get_u32(j, "chips_x", &p->chips_x);
+  ok &= get_u32(j, "chips_y", &p->chips_y);
+  ok &= get_u64(j, "chip_hop_extra", &p->chip_hop_extra);
   if (!ok) return fail("(type mismatch)");
   return true;
 }
@@ -173,6 +176,7 @@ std::string repro_to_json(const Scenario& s, const Violation& v) {
   wl["horizon"] = JsonValue(s.cfg.horizon);
   wl["hyb_bug_drop_every"] = JsonValue(s.cfg.hyb_bug_drop_every);
   wl["async_depth"] = JsonValue(s.cfg.async_depth);
+  wl["shards"] = JsonValue(s.cfg.shards);
   j["workload"] = std::move(wl);
 
   j["machine"] = obs::MetricsRegistry::params_json(s.cfg.params);
@@ -219,6 +223,9 @@ bool repro_from_json(const std::string& text, Scenario* out,
   ok &= get_u64(*wl, "horizon", &s.cfg.horizon);
   ok &= get_u64(*wl, "hyb_bug_drop_every", &s.cfg.hyb_bug_drop_every);
   ok &= get_u32(*wl, "async_depth", &s.cfg.async_depth);
+  // Absent in pre-sharding repro files: the default (1) reproduces them
+  // exactly (hmps-repro-v1 keeps defaults for missing fields).
+  ok &= get_u32(*wl, "shards", &s.cfg.shards);
   if (!ok) return fail("workload: bad field type");
 
   if (const JsonValue* m = j.find("machine"); m != nullptr && m->is_object()) {

@@ -42,6 +42,12 @@ struct OpRecord {
   std::uint64_t ret = 0;
   Cycle invoke = 0;
   Cycle response = 0;
+  /// Object id within a farm (sharded runs, docs/SHARDING.md); 0 for
+  /// single-object histories. Checkers validate each object's sub-history
+  /// independently — cross-object ops (queue_transfer) contribute one
+  /// record per touched object sharing the same invoke/response bracket.
+  /// Last field so pre-sharding aggregate initializers stay valid.
+  std::uint32_t obj = 0;
 };
 
 /// Append-only history; one recorder is shared by all simulated threads

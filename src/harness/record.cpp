@@ -19,6 +19,7 @@
 #include "sync/mp_server.hpp"
 #include "sync/mp_server_hub.hpp"
 #include "sync/oyama.hpp"
+#include "sync/sharded.hpp"
 #include "sync/shm_server.hpp"
 
 namespace hmps::harness {
@@ -30,7 +31,8 @@ using rt::SimExecutor;
 
 constexpr const char* kConstructionNames[kNumConstructions] = {
     "mp_server", "hybcomb", "shm_server", "ccsynch", "dsm_synch",
-    "flat_combining", "hsynch", "oyama", "mcs_lock", "mp_server_hub"};
+    "flat_combining", "hsynch", "oyama", "mcs_lock", "mp_server_hub",
+    "sharded"};
 
 constexpr const char* kObjectNames[kNumObjects] = {
     "counter", "queue", "stack", "lcrq", "elim_stack"};
@@ -47,6 +49,227 @@ struct McsUc {
     return r;
   }
 };
+
+// ---- sharded fleet workload (docs/SHARDING.md) ----
+
+/// Object-farm size for the sharded construction: dense ids [0, 8),
+/// rendezvous-hashed over the shard fleet.
+constexpr std::uint32_t kFarmObjects = 8;
+
+/// The farm every shard CS body runs against. Per-object state starts on
+/// its own cache line (the ds objects are alignas(kCacheLine)), so each
+/// object is only ever touched by its home shard's serve fiber.
+struct ShardFarm {
+  ds::SeqCounter counters[kFarmObjects];
+  ds::SeqQueue queues[kFarmObjects];
+  ds::SeqStack stacks[kFarmObjects];
+};
+
+// Farm CS bodies: the argument packs (obj << 32 | arg32) per
+// sync::ShardedServer::pack_obj_arg.
+std::uint64_t farm_inc(SimCtx& ctx, void* o, std::uint64_t a) {
+  auto* f = static_cast<ShardFarm*>(o);
+  return ds::counter_inc<SimCtx>(ctx, &f->counters[(a >> 32) % kFarmObjects],
+                                 0);
+}
+std::uint64_t farm_enq(SimCtx& ctx, void* o, std::uint64_t a) {
+  auto* f = static_cast<ShardFarm*>(o);
+  return ds::q_enqueue<SimCtx>(ctx, &f->queues[(a >> 32) % kFarmObjects],
+                               a & 0xFFFFFFFFu);
+}
+std::uint64_t farm_deq(SimCtx& ctx, void* o, std::uint64_t a) {
+  auto* f = static_cast<ShardFarm*>(o);
+  return ds::q_dequeue<SimCtx>(ctx, &f->queues[(a >> 32) % kFarmObjects], 0);
+}
+std::uint64_t farm_push(SimCtx& ctx, void* o, std::uint64_t a) {
+  auto* f = static_cast<ShardFarm*>(o);
+  return ds::s_push<SimCtx>(ctx, &f->stacks[(a >> 32) % kFarmObjects],
+                            a & 0xFFFFFFFFu);
+}
+std::uint64_t farm_pop(SimCtx& ctx, void* o, std::uint64_t a) {
+  auto* f = static_cast<ShardFarm*>(o);
+  return ds::s_pop<SimCtx>(ctx, &f->stacks[(a >> 32) % kFarmObjects], 0);
+}
+
+/// record_history for the sharded construction: `shards` serve fibers on
+/// tids [0, shards), clients driving random farm objects — queue runs mix
+/// in cross-shard queue_transfer ops, recorded as one deq + one enq record
+/// sharing the transfer's invoke/response bracket (per-object checking in
+/// src/check/explore.cpp relies on exactly that shape).
+RecordResult record_sharded(const RecordCfg& cfg, sim::Perturber* perturber) {
+  SimExecutor ex(cfg.params, cfg.seed);
+  if (cfg.faults.enabled()) ex.machine().install_faults(cfg.faults);
+  if (perturber != nullptr) ex.sched().set_perturber(perturber);
+
+  const std::uint32_t shards = std::min<std::uint32_t>(
+      std::max<std::uint32_t>(cfg.shards, 1),
+      sync::ShardedServer<SimCtx>::kMaxShards);
+  ShardFarm farm;
+  sync::ShardedServer<SimCtx>::TransferHooks hooks{farm_deq, farm_enq};
+  sync::ShardedServer<SimCtx> sh(shards, &farm, kFarmObjects, 0, hooks);
+
+  RecordResult res;
+  res.total_client_threads = cfg.threads;
+  HistoryRecorder rec;
+
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    ex.add_thread([&sh, s](SimCtx& ctx) { sh.serve(ctx, s); });
+  }
+
+  const std::uint32_t depth =
+      cfg.async_depth >= 2 ? std::min<std::uint32_t>(cfg.async_depth, 16) : 0;
+
+  // One drawn operation against the farm; returns up to two history
+  // records (a moving transfer yields deq-on-src plus enq-on-dst).
+  struct DrawnOp {
+    bool transfer = false;
+    std::uint32_t obj = 0;   ///< target (or transfer source)
+    std::uint32_t dst = 0;   ///< transfer destination
+    sync::CsFn<SimCtx> fn = nullptr;
+    OpKind kind = OpKind::kInc;
+    std::uint64_t arg = 0;
+  };
+  auto draw_op = [&](SimCtx& ctx, std::uint32_t i,
+                     std::uint32_t k) -> DrawnOp {
+    DrawnOp d;
+    d.obj = static_cast<std::uint32_t>(ctx.rand_below(kFarmObjects));
+    const bool produce = ctx.rand_below(1000) < cfg.produce_permille;
+    const std::uint64_t val = ((static_cast<std::uint64_t>(i) & 0xFFFF) << 16) |
+                              (k & 0xFFFF);
+    switch (cfg.object) {
+      case Object::kQueue:
+        if (produce) {
+          d.kind = OpKind::kEnq;
+          d.fn = farm_enq;
+          d.arg = val;
+        } else if (ctx.rand_below(2) == 0 || d.obj + 1 >= kFarmObjects) {
+          d.kind = OpKind::kDeq;
+          d.fn = farm_deq;
+        } else {
+          // Transfers only move values to strictly higher-numbered
+          // objects: a value's trajectory through the farm is acyclic, so
+          // it enters each object's sub-history at most once — the queue
+          // checker requires per-object unique enqueue values.
+          d.transfer = true;
+          d.kind = OpKind::kDeq;
+          d.dst = d.obj + 1 +
+                  static_cast<std::uint32_t>(
+                      ctx.rand_below(kFarmObjects - d.obj - 1));
+        }
+        break;
+      case Object::kStack:
+        if (produce) {
+          d.kind = OpKind::kPush;
+          d.fn = farm_push;
+          d.arg = val;
+        } else {
+          d.kind = OpKind::kPop;
+          d.fn = farm_pop;
+        }
+        break;
+      default:  // counter (clamp_cfg maps the direct structures away)
+        d.kind = OpKind::kInc;
+        d.fn = farm_inc;
+        break;
+    }
+    return d;
+  };
+  // Completes the records of one drawn op from its result value.
+  auto finish_op = [&](const DrawnOp& d, std::uint32_t i, Cycle invoke,
+                       Cycle response, std::uint64_t ret) {
+    OpRecord r;
+    r.thread = i;
+    r.obj = d.obj;
+    r.kind = d.kind;
+    r.arg = d.arg;
+    r.invoke = invoke;
+    r.response = response;
+    if (d.transfer) {
+      // deq half on the source object...
+      r.ret = ret == sync::kTransferEmpty ? kNothing : ret;
+      rec.record(r);
+      if (ret == sync::kTransferEmpty) return;
+      // ...and the delegated enq half on the destination.
+      OpRecord e;
+      e.thread = i;
+      e.obj = d.dst;
+      e.kind = OpKind::kEnq;
+      e.arg = ret;
+      e.ret = 0;
+      e.invoke = invoke;
+      e.response = response;
+      rec.record(e);
+      return;
+    }
+    switch (d.kind) {
+      case OpKind::kEnq:
+      case OpKind::kPush: r.ret = 0; break;
+      case OpKind::kDeq:
+        r.ret = ret == ds::kQEmpty ? kNothing : ret;
+        break;
+      case OpKind::kPop:
+        r.ret = ret == ds::kStackEmpty ? kNothing : ret;
+        break;
+      default: r.ret = ret; break;
+    }
+    rec.record(r);
+  };
+
+  for (std::uint32_t i = 0; i < cfg.threads; ++i) {
+    ex.add_thread([&, i](SimCtx& ctx) {
+      if (depth != 0) {
+        // Async trains with reverse reaps, possibly spanning several
+        // shards at once (the multi-shard ticket path under test).
+        std::uint32_t k = 0;
+        while (k < cfg.ops_each) {
+          const std::uint32_t n = std::min(depth, cfg.ops_each - k);
+          DrawnOp ops[16];
+          sync::Ticket tickets[16];
+          Cycle invokes[16];
+          for (std::uint32_t j = 0; j < n; ++j, ++k) {
+            ops[j] = draw_op(ctx, i, k);
+            invokes[j] = ctx.now();
+            tickets[j] = ops[j].transfer
+                             ? sh.transfer_async(ctx, ops[j].obj, ops[j].dst)
+                             : sh.apply_async(ctx, ops[j].fn, ops[j].obj,
+                                              ops[j].arg);
+          }
+          for (std::uint32_t j = n; j-- > 0;) {
+            const std::uint64_t ret = sh.wait(ctx, tickets[j]);
+            finish_op(ops[j], i, invokes[j], ctx.now(), ret);
+          }
+          if (cfg.think_max > 0) {
+            ctx.compute(ctx.rand_below(
+                static_cast<std::uint32_t>(cfg.think_max) + 1));
+          }
+        }
+      } else {
+        for (std::uint32_t k = 0; k < cfg.ops_each; ++k) {
+          const DrawnOp d = draw_op(ctx, i, k);
+          const Cycle invoke = ctx.now();
+          const std::uint64_t ret =
+              d.transfer ? sh.queue_transfer(ctx, d.obj, d.dst)
+                         : sh.apply(ctx, d.fn, d.obj, d.arg);
+          finish_op(d, i, invoke, ctx.now(), ret);
+          if (cfg.think_max > 0) {
+            ctx.compute(ctx.rand_below(
+                static_cast<std::uint32_t>(cfg.think_max) + 1));
+          }
+        }
+      }
+      ++res.finished_threads;
+      if (res.finished_threads == cfg.threads) sh.request_stop(ctx);
+    });
+  }
+
+  ex.run_until(cfg.horizon);
+  if (perturber != nullptr) ex.sched().set_perturber(nullptr);
+
+  res.completed = res.finished_threads == cfg.threads;
+  res.end_time = ex.sched().now();
+  res.history = rec.ops();
+  return res;
+}
 
 }  // namespace
 
@@ -80,15 +303,24 @@ bool object_from_string(std::string_view s, Object* out) {
 
 bool uses_server(Construction c) {
   return c == Construction::kMpServer || c == Construction::kShmServer ||
-         c == Construction::kMpServerHub;
+         c == Construction::kMpServerHub || c == Construction::kSharded;
+}
+
+std::uint32_t server_threads(Construction c, std::uint32_t shards) {
+  if (c == Construction::kSharded) return shards == 0 ? 1 : shards;
+  return uses_server(c) ? 1 : 0;
 }
 
 bool supports_async(Construction c) {
   return c == Construction::kMpServer || c == Construction::kMpServerHub ||
-         c == Construction::kShmServer || c == Construction::kHybComb;
+         c == Construction::kShmServer || c == Construction::kHybComb ||
+         c == Construction::kSharded;
 }
 
 RecordResult record_history(const RecordCfg& cfg, sim::Perturber* perturber) {
+  if (cfg.construction == Construction::kSharded) {
+    return record_sharded(cfg, perturber);
+  }
   SimExecutor ex(cfg.params, cfg.seed);
   if (cfg.faults.enabled()) ex.machine().install_faults(cfg.faults);
   if (perturber != nullptr) ex.sched().set_perturber(perturber);

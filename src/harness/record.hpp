@@ -40,8 +40,9 @@ enum class Construction : std::uint8_t {
   kOyama,
   kMcsLock,
   kMpServerHub,
+  kSharded,  ///< multi-server object farm (docs/SHARDING.md)
 };
-inline constexpr std::uint32_t kNumConstructions = 10;
+inline constexpr std::uint32_t kNumConstructions = 11;
 
 /// Concurrent objects the harness can drive. Counter/queue/stack run their
 /// sequential bodies under the chosen construction; LCRQ and the
@@ -64,6 +65,11 @@ bool object_from_string(std::string_view s, Object* out);
 /// True for the client/server approaches, which dedicate one extra thread
 /// (tid 0) to the server loop.
 bool uses_server(Construction c);
+
+/// Server threads a construction dedicates ahead of the clients: 0 for the
+/// shared-memory approaches, 1 for the single-server ones, `shards` for the
+/// sharded fleet (tids [0, shards)).
+std::uint32_t server_threads(Construction c, std::uint32_t shards);
 
 /// True for constructions exposing the async ticket API (docs/MODEL.md §9),
 /// i.e. those RecordCfg::async_depth applies to.
@@ -91,6 +97,11 @@ struct RecordCfg {
   /// docs/MODEL.md §9). Only meaningful for supports_async() constructions
   /// on counter/queue/stack; 0/1 = classic synchronous loop.
   std::uint32_t async_depth = 0;
+  /// kSharded only: server fleet size (tids [0, shards)); clients drive a
+  /// farm of 8 objects partitioned by rendezvous hashing, and queue runs
+  /// mix in cross-shard queue_transfer ops (docs/SHARDING.md). Ignored —
+  /// and clamped to 1 — for every other construction.
+  std::uint32_t shards = 1;
 };
 
 struct RecordResult {

@@ -65,6 +65,11 @@ struct ServiceCfg {
   ShedPolicy shed = ShedPolicy::kDropNewest;
 
   bool queue_object = false;   ///< false: counter farm; true: MS-queue farm
+
+  /// run_service_sharded() only: MP-SERVER fleet size (tids [0, shards)),
+  /// objects partitioned across the fleet by rendezvous hashing
+  /// (docs/SHARDING.md). Ignored by run_service().
+  std::uint32_t shards = 1;
 };
 
 /// Zipf(s) sampler over {0, ..., n-1} by inverse CDF: p(rank k) ~ 1/k^s.
@@ -163,5 +168,13 @@ class ArrivalGen {
 /// with the service fields filled. With base.obs.metrics set, the run
 /// entry additionally carries a "service" block (docs/SERVICE.md).
 RunResult run_service(const ServiceCfg& cfg, Approach a);
+
+/// Runs the open-loop service workload against a sync::ShardedServer fleet
+/// of cfg.shards MP-SERVER instances: session fibers resolve each arrival's
+/// object to its home shard client-side and issue through the fleet's
+/// ticket API, so one session keeps ops in flight against several shards at
+/// once. Reports the same RunResult / "service" metrics block as
+/// run_service() plus the shard count (docs/SHARDING.md).
+RunResult run_service_sharded(const ServiceCfg& cfg);
 
 }  // namespace hmps::harness

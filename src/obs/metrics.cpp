@@ -85,6 +85,9 @@ JsonValue MetricsRegistry::params_json(const arch::MachineParams& p) {
   j["udn_recv_word"] = JsonValue(p.udn_recv_word);
   j["model_link_contention"] = JsonValue(p.model_link_contention);
   j["fence_cost"] = JsonValue(p.fence_cost);
+  j["chips_x"] = JsonValue(p.chips_x);
+  j["chips_y"] = JsonValue(p.chips_y);
+  j["chip_hop_extra"] = JsonValue(p.chip_hop_extra);
   return j;
 }
 

@@ -253,6 +253,37 @@ JsonValue Telemetry::to_json() const {
   }
   grid["busy"] = std::move(busy);
   grid["wait"] = std::move(wait);
+
+  // Multi-chip machines additionally get a per-chip aggregate: chip (cx,
+  // cy) at index cy * chips_x + cx sums the busy/wait of every directed
+  // link whose source router sits on that chip, so the chip series
+  // telescopes exactly to the sums of the global grid
+  // (tests/test_telemetry.cpp pins the invariant).
+  const arch::MachineParams& mp = m_.params();
+  grid["chips_x"] = JsonValue(mp.chips_x);
+  grid["chips_y"] = JsonValue(mp.chips_y);
+  if (mp.chips() > 1) {
+    const std::uint32_t cw = mp.chip_w(), ch = mp.chip_h();
+    std::vector<std::uint64_t> cb(mp.chips(), 0), cwt(mp.chips(), 0);
+    const auto& lb2 = nm.link_busy();
+    const auto& lw2 = nm.link_wait();
+    for (std::size_t i = 0; i < lb2.size(); ++i) {
+      const std::size_t router = i / 4;  // link = router * kDirs + dir
+      const std::uint32_t x = static_cast<std::uint32_t>(router % mp.mesh_w);
+      const std::uint32_t y = static_cast<std::uint32_t>(router / mp.mesh_w);
+      const std::size_t chip = (y / ch) * mp.chips_x + (x / cw);
+      cb[chip] += lb2[i] - base_link_busy_[i];
+      cwt[chip] += lw2[i] - base_link_wait_[i];
+    }
+    JsonValue cbj = JsonValue::array();
+    JsonValue cwj = JsonValue::array();
+    for (std::size_t c = 0; c < cb.size(); ++c) {
+      cbj.push_back(JsonValue(cb[c]));
+      cwj.push_back(JsonValue(cwt[c]));
+    }
+    grid["chip_busy"] = std::move(cbj);
+    grid["chip_wait"] = std::move(cwj);
+  }
   out["link_grid"] = std::move(grid);
 
   return out;

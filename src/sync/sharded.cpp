@@ -1,0 +1,71 @@
+#include "sync/sharded.hpp"
+
+namespace hmps::sync {
+
+namespace {
+
+/// splitmix64 finalizer: the avalanche stage used throughout the repo's
+/// seeding paths. Good enough that rendezvous weights over a few dozen
+/// shards are effectively independent per (object, shard) pair.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint32_t shard_of(std::uint64_t obj, std::uint32_t shards) {
+  if (shards <= 1) return 0;
+  // Rendezvous (highest-random-weight) hashing: every (object, shard) pair
+  // gets an independent weight and the object lives on the shard with the
+  // largest one. Unlike `obj % shards`, growing or shrinking the fleet by
+  // one shard relocates only ~1/shards of the objects, and unlike a ring it
+  // needs no virtual-node tuning to balance a handful of shards.
+  std::uint32_t best = 0;
+  std::uint64_t best_w = mix64((obj + 1) * 0x2545f4914f6cdd1dULL);
+  for (std::uint32_t s = 1; s < shards; ++s) {
+    const std::uint64_t w =
+        mix64((obj + 1) * 0x2545f4914f6cdd1dULL + s * 0xd1342543de82ef95ULL);
+    if (w > best_w) {
+      best_w = w;
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> shard_route_table(std::uint64_t n_objects,
+                                             std::uint32_t shards) {
+  std::vector<std::uint32_t> t;
+  t.reserve(n_objects);
+  for (std::uint64_t o = 0; o < n_objects; ++o) {
+    t.push_back(shard_of(o, shards));
+  }
+  return t;
+}
+
+std::vector<std::uint64_t> shard_load_counts(std::uint64_t n_objects,
+                                             std::uint32_t shards) {
+  std::vector<std::uint64_t> counts(shards == 0 ? 1 : shards, 0);
+  for (std::uint64_t o = 0; o < n_objects; ++o) {
+    ++counts[shard_of(o, shards)];
+  }
+  return counts;
+}
+
+double shard_load_max_over_mean(std::uint64_t n_objects,
+                                std::uint32_t shards) {
+  if (shards == 0 || n_objects == 0) return 0.0;
+  const std::vector<std::uint64_t> counts = shard_load_counts(n_objects, shards);
+  std::uint64_t max = 0;
+  for (const std::uint64_t c : counts) {
+    if (c > max) max = c;
+  }
+  const double mean =
+      static_cast<double>(n_objects) / static_cast<double>(shards);
+  return static_cast<double>(max) / mean;
+}
+
+}  // namespace hmps::sync

@@ -251,6 +251,73 @@ TEST(GoldenTrace, NocAllPairs) {
                         1400, 7200, 16438});
 }
 
+// Scenario: multi-chip 8x8 mesh carved into a 2x2 chip grid with link
+// contention — all-to-one traffic crossing inter-chip boundaries in both
+// axes. Pins the chip-crossing surcharge (arch::MachineParams::chips_x/y,
+// chip_hop_extra) end to end: default-path wire latencies AND the NoC
+// contention model's per-link extras (docs/MODEL.md).
+ModelGold run_multichip(std::uint32_t chips_x, std::uint32_t chips_y,
+                        Cycle chip_extra) {
+  arch::MachineParams p;
+  p.mesh_w = 8;
+  p.mesh_h = 8;
+  p.chips_x = chips_x;
+  p.chips_y = chips_y;
+  p.chip_hop_extra = chip_extra;
+  p.model_link_contention = true;
+  arch::MeshTopology topo(p);
+  sim::Scheduler s;
+  arch::UdnModel udn(p, topo, s);
+  const std::uint32_t C = topo.cores();
+  Fp fp;
+  for (Tid i = 1; i < C; ++i) {
+    s.spawn([&, i] {
+      sim::Xoshiro256 rng(6000 + i);
+      std::uint64_t w[4] = {i, 0, 0, 0};
+      for (int m = 0; m < 20; ++m) {
+        w[1] = m;
+        udn.send(i, 0, i % udn.n_queues(), w, 1 + (i + m) % 4);
+        s.wait_for(rng.below(80));
+      }
+    });
+  }
+  for (std::uint32_t q = 0; q < 4; ++q) {
+    s.spawn([&, q] {
+      std::uint64_t expect = 0;
+      for (Tid i = 1; i < C; ++i)
+        if (i % 4 == q)
+          for (int m = 0; m < 20; ++m) expect += 1 + (i + m) % 4;
+      std::uint64_t in[4];
+      while (expect > 0) {
+        const std::size_t n = expect < 4 ? expect : 4;
+        udn.receive(0, q, in, n);
+        expect -= n;
+        fp.mix(in[0] + q);
+      }
+    });
+  }
+  const Cycle end = s.run();
+  return gold_of(fp, end, udn);
+}
+
+TEST(GoldenTrace, MultiChipMesh2x2) {
+  expect_gold(run_multichip(2, 2, 12),
+              ModelGold{8276535421541217655ull, 3172, 1260, 3150, 1001, 118,
+                        1260, 8960, 27114});
+}
+
+// The chip surcharge must actually cost cycles: the identical traffic on
+// the same 8x8 mesh as one monolithic chip finishes sooner and waits less
+// on links (same message/hop counts — routes are unchanged).
+TEST(GoldenTrace, MultiChipSurchargeSlowsIdenticalTraffic) {
+  const ModelGold mono = run_multichip(1, 1, 12);
+  const ModelGold quad = run_multichip(2, 2, 12);
+  EXPECT_EQ(mono.msgs, quad.msgs);
+  EXPECT_EQ(mono.noc_hops, quad.noc_hops);
+  EXPECT_LT(mono.end, quad.end);
+  EXPECT_NE(mono.fp, quad.fp);  // completion order shifts under the extras
+}
+
 // ---------------------------------------------------------------------------
 // Zero-allocation contract.
 // ---------------------------------------------------------------------------

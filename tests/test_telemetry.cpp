@@ -55,6 +55,64 @@ std::int64_t sum_signed(const JsonValue& arr) {
 
 // --- telescoping: window sums == run-level cycle_accounts ------------------
 
+// Multi-chip link grid (docs/SHARDING.md): the per-chip busy/wait
+// aggregates must telescope exactly to the sums of the global per-link
+// grid, and the chip-grid shape is always emitted.
+TEST(Telemetry, MultiChipLinkGridTelescopesToGlobalGrid) {
+  obs::MetricsRegistry reg;
+  harness::RunCfg cfg = small_cfg();
+  cfg.telemetry_window = 20'000;
+  cfg.machine.model_link_contention = true;
+  cfg.machine.mesh_w = 8;
+  cfg.machine.mesh_h = 8;
+  cfg.machine.chips_x = 2;
+  cfg.machine.chips_y = 2;
+  cfg.machine.chip_hop_extra = 12;
+  cfg.app_threads = 8;
+  cfg.obs.metrics = &reg;
+  cfg.obs.label = "mp-server-multichip";
+  (void)harness::run_counter(cfg, Approach::kMpServer);
+
+  ASSERT_EQ(reg.root()["runs"].size(), 1u);
+  const JsonValue& run = reg.root()["runs"].items()[0];
+  const JsonValue* grid = run.find("telemetry")->find("link_grid");
+  ASSERT_NE(grid, nullptr);
+  EXPECT_EQ(grid->find("chips_x")->as_uint(), 2u);
+  EXPECT_EQ(grid->find("chips_y")->as_uint(), 2u);
+  const JsonValue* chip_busy = grid->find("chip_busy");
+  const JsonValue* chip_wait = grid->find("chip_wait");
+  ASSERT_NE(chip_busy, nullptr);
+  ASSERT_NE(chip_wait, nullptr);
+  ASSERT_EQ(chip_busy->size(), 4u);
+  ASSERT_EQ(chip_wait->size(), 4u);
+  EXPECT_GT(sum_series(*grid->find("busy")), 0u);
+  EXPECT_EQ(sum_series(*chip_busy), sum_series(*grid->find("busy")));
+  EXPECT_EQ(sum_series(*chip_wait), sum_series(*grid->find("wait")));
+  // The run's machine params echo the chip grid for downstream tools.
+  const JsonValue* mp = run.find("machine_params");
+  EXPECT_EQ(mp->find("chips_x")->as_uint(), 2u);
+  EXPECT_EQ(mp->find("chip_hop_extra")->as_uint(), 12u);
+}
+
+// Single-chip machines emit the chip-grid shape but no per-chip series —
+// consumers key on chips_x * chips_y > 1.
+TEST(Telemetry, SingleChipLinkGridHasNoChipSeries) {
+  obs::MetricsRegistry reg;
+  harness::RunCfg cfg = small_cfg();
+  cfg.telemetry_window = 20'000;
+  cfg.machine.model_link_contention = true;
+  cfg.obs.metrics = &reg;
+  cfg.obs.label = "mp-server-mono";
+  (void)harness::run_counter(cfg, Approach::kMpServer);
+  const JsonValue& run = reg.root()["runs"].items()[0];
+  const JsonValue* grid = run.find("telemetry")->find("link_grid");
+  ASSERT_NE(grid, nullptr);
+  EXPECT_EQ(grid->find("chips_x")->as_uint(), 1u);
+  EXPECT_EQ(grid->find("chips_y")->as_uint(), 1u);
+  EXPECT_EQ(grid->find("chip_busy"), nullptr);
+  EXPECT_EQ(grid->find("chip_wait"), nullptr);
+}
+
 TEST(Telemetry, CounterRunWindowSumsTelescopeToRunTotals) {
   obs::MetricsRegistry reg;
   harness::RunCfg cfg = small_cfg();
