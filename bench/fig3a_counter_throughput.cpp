@@ -6,6 +6,13 @@
 // concurrency level, peaking ~4.3x above SHM-SERVER; HYBCOMB second,
 // ~2.5x above CC-SYNCH at high concurrency; CC-SYNCH and SHM-SERVER
 // closely matched.
+//
+// Extensions beyond the paper: a vlink-server column (delegation over the
+// Virtual-Link MPMC channel, docs/MODEL.md §12) so all three transports —
+// UDN, vlink, plain shared memory — run side by side, and a
+// --noc-combining flag that turns on in-network RMW combining
+// (docs/MODEL.md §11) to ask whether HybComb's endpoint combining still
+// pays once the network combines for it.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -30,13 +37,15 @@ int main(int argc, char** argv) {
   if (args.threads) threads = {args.threads};
 
   const Approach order[] = {Approach::kMpServer, Approach::kHybComb,
-                            Approach::kShmServer, Approach::kCcSynch};
+                            Approach::kShmServer, Approach::kCcSynch,
+                            Approach::kVlinkServer};
 
   harness::RunPool pool(art, args.jobs);
   for (std::uint32_t t : threads) {
     harness::RunCfg cfg;
     cfg.app_threads = t;
     cfg.seed = args.seed;
+    cfg.machine.noc_combining = args.noc_combining;
     if (args.mesh_w) {  // e.g. --mesh 16x16: the 256-core profiling shape
       cfg.machine.mesh_w = args.mesh_w;
       cfg.machine.mesh_h = args.mesh_h;
@@ -58,15 +67,18 @@ int main(int argc, char** argv) {
   const auto& results = pool.drain();
 
   harness::Table table({"threads", "mp-server", "HybComb", "shm-server",
-                        "CC-Synch"});
+                        "CC-Synch", "vlink-server"});
   std::size_t idx = 0;
   for (std::uint32_t t : threads) {
     std::vector<std::string> row{std::to_string(t)};
-    for (std::size_t a = 0; a < 4; ++a)
+    for (std::size_t a = 0; a < 5; ++a)
       row.push_back(harness::fmt(results[idx++].mops));
     table.add_row(row);
   }
-  table.print("Fig. 3a: counter throughput (Mops/s) vs application threads");
+  std::string title =
+      "Fig. 3a: counter throughput (Mops/s) vs application threads";
+  if (args.noc_combining) title += " [noc-combining on]";
+  table.print(title);
   if (!args.csv.empty()) table.write_csv(args.csv);
   art.finalize();
   return 0;

@@ -34,13 +34,15 @@ int main(int argc, char** argv) {
 
   const QueueImpl order[] = {QueueImpl::kMp1,  QueueImpl::kHyb1,
                              QueueImpl::kShm1, QueueImpl::kCc1,
-                             QueueImpl::kLcrq, QueueImpl::kMp2};
+                             QueueImpl::kLcrq, QueueImpl::kMp2,
+                             QueueImpl::kVl1};
 
   harness::RunPool pool(art, args.jobs);
   for (std::uint32_t t : threads) {
     harness::RunCfg cfg;
     cfg.app_threads = t;
     cfg.seed = args.seed;
+    cfg.machine.noc_combining = args.noc_combining;
     if (args.window) cfg.window = args.window;
     if (args.reps) cfg.reps = args.reps;
     for (QueueImpl q : order) {
@@ -58,15 +60,18 @@ int main(int argc, char** argv) {
   const auto& results = pool.drain();
 
   harness::Table table({"clients", "mp-server-1", "HybComb-1", "shm-server-1",
-                        "CC-Synch-1", "LCRQ", "mp-server-2"});
+                        "CC-Synch-1", "LCRQ", "mp-server-2", "vlink-1"});
   std::size_t idx = 0;
   for (std::uint32_t t : threads) {
     std::vector<std::string> row{std::to_string(t)};
-    for (std::size_t q = 0; q < 6; ++q)
+    for (std::size_t q = 0; q < 7; ++q)
       row.push_back(harness::fmt(results[idx++].mops));
     table.add_row(row);
   }
-  table.print("Fig. 5a: queue throughput (Mops/s) under balanced load");
+  std::string title =
+      "Fig. 5a: queue throughput (Mops/s) under balanced load";
+  if (args.noc_combining) title += " [noc-combining on]";
+  table.print(title);
   if (!args.csv.empty()) table.write_csv(args.csv);
   art.finalize();
   return 0;

@@ -31,13 +31,15 @@ int main(int argc, char** argv) {
   if (args.threads) threads = {args.threads};
 
   const StackImpl order[] = {StackImpl::kMp, StackImpl::kHyb, StackImpl::kShm,
-                             StackImpl::kCc, StackImpl::kTreiber};
+                             StackImpl::kCc, StackImpl::kTreiber,
+                             StackImpl::kVl};
 
   harness::RunPool pool(art, args.jobs);
   for (std::uint32_t t : threads) {
     harness::RunCfg cfg;
     cfg.app_threads = t;
     cfg.seed = args.seed;
+    cfg.machine.noc_combining = args.noc_combining;
     if (args.window) cfg.window = args.window;
     if (args.reps) cfg.reps = args.reps;
     for (StackImpl s : order) {
@@ -55,15 +57,18 @@ int main(int argc, char** argv) {
   const auto& results = pool.drain();
 
   harness::Table table({"clients", "mp-server", "HybComb", "shm-server",
-                        "CC-Synch", "Treiber"});
+                        "CC-Synch", "Treiber", "vlink"});
   std::size_t idx = 0;
   for (std::uint32_t t : threads) {
     std::vector<std::string> row{std::to_string(t)};
-    for (std::size_t s = 0; s < 5; ++s)
+    for (std::size_t s = 0; s < 6; ++s)
       row.push_back(harness::fmt(results[idx++].mops));
     table.add_row(row);
   }
-  table.print("Fig. 5b: stack throughput (Mops/s) under balanced load");
+  std::string title =
+      "Fig. 5b: stack throughput (Mops/s) under balanced load";
+  if (args.noc_combining) title += " [noc-combining on]";
+  table.print(title);
   if (!args.csv.empty()) table.write_csv(args.csv);
   art.finalize();
   return 0;

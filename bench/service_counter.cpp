@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
   if (args.quick) loads = {4, 24};
 
   std::vector<Approach> apps{Approach::kMpServer, Approach::kHybComb,
-                             Approach::kShmServer, Approach::kCcSynch};
+                             Approach::kShmServer, Approach::kCcSynch,
+                             Approach::kVlinkServer};
   if (args.quick) apps = {Approach::kMpServer, Approach::kHybComb};
 
   harness::ServiceCfg base;
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
   base.base.reps = args.reps ? args.reps : (args.quick ? 1 : 2);
   base.base.telemetry_window = args.telemetry_window;
   base.base.machine.model_link_contention |= args.noc;
+  base.base.machine.noc_combining |= args.noc_combining;
   if (args.mesh_w && args.mesh_h) {
     base.base.machine.mesh_w = args.mesh_w;
     base.base.machine.mesh_h = args.mesh_h;

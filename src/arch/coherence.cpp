@@ -87,6 +87,18 @@ AccessCost CoherenceModel::atomic(Tid c, std::uint64_t addr, Cycle now,
   // TILE-Gx-like: the operation is shipped to the line's memory controller.
   // Cached copies must be flushed/invalidated first; afterwards the line's
   // authoritative copy lives at home again.
+  if (p_.noc_combining && kind == AtomicKind::kFaa) {
+    // Unconditional RMWs are combinable: if an earlier same-word request is
+    // in flight past a router on our route, merge into it there — the
+    // request never reaches the directory or the controller, and the reply
+    // peels off at the merge router on its way back (docs/MODEL.md §11).
+    const auto m = combining_.try_combine(c, addr, now);
+    if (m.combined) {
+      if (ctrl_wait_out) *ctrl_wait_out = 0;
+      if (prof_) prof_->on_atomic(line_of(addr), m.done - now);
+      return {m.done - now, true};
+    }
+  }
   Line& l = line_at(addr);
   const Cycle wait = acquire_line(l, now);
   const std::uint32_t ctrl = l.ctrl;
@@ -114,6 +126,15 @@ AccessCost CoherenceModel::atomic(Tid c, std::uint64_t addr, Cycle now,
   if (ctrl_wait_out) *ctrl_wait_out = ctrl_wait;
 
   const Cycle done = start + op_cost + to_ctrl;  // response trip back
+  if (p_.noc_combining && kind == AtomicKind::kFaa) {
+    // This request went all the way to the controller; later same-word
+    // requests may merge into it anywhere along its route while its reply
+    // is still outbound. The request leaves the source once the line is
+    // quiesced (after line wait + recall) and the reply leaves the
+    // controller when the op retires.
+    combining_.register_root(c, addr, ctrl, now + wait + recall,
+                             start + op_cost, done);
+  }
   if (prof_) prof_->on_atomic(line_of(addr), done - now);
   return {done - now, true};
 }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "arch/combining.hpp"
 #include "arch/params.hpp"
 #include "arch/profiler.hpp"
 #include "arch/topology.hpp"
@@ -41,7 +42,7 @@ struct AccessCost {
 class CoherenceModel {
  public:
   CoherenceModel(const MachineParams& p, const MeshTopology& topo)
-      : p_(p), topo_(topo) {
+      : p_(p), topo_(topo), combining_(p, topo) {
     keys_.assign(kInitialCap, kEmptyKey);
     slots_.resize(kInitialCap);
     mask_ = kInitialCap - 1;
@@ -95,6 +96,11 @@ class CoherenceModel {
   };
   const Counters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }
+
+  /// In-network combining fabric (active iff params.noc_combining; its
+  /// counters stay zero otherwise). Exposed for metrics and tests.
+  const CombiningFabric& combining() const { return combining_; }
+  void reset_combining_counters() { combining_.reset_counters(); }
 
   /// Attaches a hot-line profiler (nullptr detaches). Not owned. The
   /// profiler's label() divisor is synced to this machine's line size so
@@ -213,6 +219,7 @@ class CoherenceModel {
   std::size_t memo_idx_ = 0;
   std::uint64_t next_line_id_ = 0;
   Cycle ctrl_busy_until_[8] = {};
+  CombiningFabric combining_;
   Counters counters_;
 };
 

@@ -1,0 +1,77 @@
+#include "arch/combining.hpp"
+
+namespace hmps::arch {
+
+CombiningFabric::MergeResult CombiningFabric::try_combine(Tid c,
+                                                          std::uint64_t word,
+                                                          Cycle depart) {
+  // Prune roots whose reply is already home: reply_at(T) <= done for every
+  // router T on the root's route, so done <= depart means every combining
+  // window this root ever opened is closed.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < roots_.size(); ++i) {
+    if (roots_[i].done > depart) roots_[w++] = roots_[i];
+  }
+  roots_.resize(w);
+
+  const Coord src = topo_.coord(c);
+  MergeResult best;
+  for (const Root& r : roots_) {
+    if (r.word != word) continue;
+    // Walk this request's own XY route toward the root's controller, X leg
+    // then Y leg, and merge at the first router where the root's window is
+    // open when the request arrives. Requests only ever wait for a reply
+    // already in flight ahead of them — a request never stalls for a later
+    // one — so the first (earliest) router that matches is the merge point.
+    const Coord dst = r.ctrl;
+    Coord t = src;
+    const std::int32_t step_x = dst.x > src.x ? 1 : -1;
+    const std::int32_t step_y = dst.y > src.y ? 1 : -1;
+    while (true) {
+      if (on_route(t, r.src, dst)) {
+        const Cycle at = depart + topo_.wire_coord(src, t);
+        const Cycle root_pass = r.depart + topo_.wire_coord(r.src, t);
+        const Cycle reply_at = r.reply_depart + topo_.wire_coord(dst, t);
+        if (root_pass <= at && at < reply_at) {
+          // Wait at the router for the combined reply, pay one router
+          // transit to peel off this request's slice, and head home.
+          const Cycle done = reply_at + p_.router + topo_.wire_coord(t, src);
+          if (!best.combined || done < best.done) {
+            best.combined = true;
+            best.done = done;
+          }
+          break;
+        }
+      }
+      if (t.x != dst.x) {
+        t.x += step_x;
+      } else if (t.y != dst.y) {
+        t.y += step_y;
+      } else {
+        break;
+      }
+    }
+  }
+  if (best.combined) {
+    ++counters_.combines;
+    // Each merged request is fanned back out of its merge router exactly
+    // once, so the books balance at merge time (telescoping invariant).
+    ++counters_.decombines;
+  }
+  return best;
+}
+
+void CombiningFabric::register_root(Tid c, std::uint64_t word,
+                                    std::uint32_t ctrl, Cycle depart,
+                                    Cycle reply_depart, Cycle done) {
+  Root r;
+  r.word = word;
+  r.src = topo_.coord(c);
+  r.ctrl = topo_.ctrl_coord(ctrl);
+  r.depart = depart;
+  r.reply_depart = reply_depart;
+  r.done = done;
+  roots_.push_back(r);
+}
+
+}  // namespace hmps::arch

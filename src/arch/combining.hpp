@@ -1,0 +1,98 @@
+// In-network combining of unconditional RMWs (docs/MODEL.md §11).
+//
+// The NYU Ultracomputer line of work (see PAPERS.md) merges fetch-and-add
+// messages to the same word inside the network switches: when a request
+// reaches a router that an earlier same-word request has already passed —
+// and whose reply has not yet come back through — the two combine into the
+// one downstream message already in flight, and the router's wait buffer
+// holds enough state to fan the combined reply back out on the return path.
+// Combined requests never reach the directory or the memory controller, so
+// a hot fetch-and-add word stops serializing on controller occupancy.
+//
+// This model is analytical, like the controller-occupancy model it
+// bypasses: no scheduler events, no RNG. Dimension-ordered XY routes to a
+// common destination form a tree (once two routes meet they coincide), so
+// the merge point of a candidate request is the first router of its route
+// that lies on a live root request's route while that root's combining
+// window — (root passes the router, root's reply re-crosses the router) —
+// is open. Roots register their route parameters; candidates walk their own
+// route tile by tile (<= mesh_w + mesh_h steps) testing membership in O(1).
+//
+// Enabled by MachineParams::noc_combining (requires atomics_at_ctrl). With
+// the knob off the coherence model never calls into this class, keeping
+// every existing trace bit-identical. Every merge fans back out exactly
+// once, so counters().combines == counters().decombines always (the CI
+// telescoping check).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "arch/topology.hpp"
+#include "sim/types.hpp"
+
+namespace hmps::arch {
+
+using sim::Cycle;
+using sim::Tid;
+
+class CombiningFabric {
+ public:
+  CombiningFabric(const MachineParams& p, const MeshTopology& topo)
+      : p_(p), topo_(topo) {}
+
+  /// Result of a merge attempt: when `combined`, the request completes at
+  /// `done` (fan-out at the merge router + return trip) without touching
+  /// the line, the directory, or the controller.
+  struct MergeResult {
+    bool combined = false;
+    Cycle done = 0;
+  };
+
+  /// Tries to merge a fetch-and-add/exchange by core `c` on `word`,
+  /// departing the core at `depart`. Expired roots for the word are pruned
+  /// as a side effect.
+  MergeResult try_combine(Tid c, std::uint64_t word, Cycle depart);
+
+  /// Registers a request that reached the controller as a combining root:
+  /// its request passes router R at depart + wire(src, R), and its reply
+  /// re-crosses R at reply_depart + wire(ctrl, R) — the window in which
+  /// later same-word requests merge at R. `done` (reply back at the
+  /// source) bounds the root's lifetime for pruning.
+  void register_root(Tid c, std::uint64_t word, std::uint32_t ctrl,
+                     Cycle depart, Cycle reply_depart, Cycle done);
+
+  struct Counters {
+    std::uint64_t combines = 0;    ///< requests merged at a router
+    std::uint64_t decombines = 0;  ///< replies fanned back out (== combines)
+  };
+  const Counters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+
+ private:
+  struct Root {
+    std::uint64_t word = 0;
+    Coord src{};           ///< source tile
+    Coord ctrl{};          ///< controller attach coordinate
+    Cycle depart = 0;      ///< request leaves the source
+    Cycle reply_depart = 0;///< reply leaves the controller
+    Cycle done = 0;        ///< reply back at the source (lifetime bound)
+  };
+
+  /// True iff tile `t` lies on the XY (X-then-Y) route src -> dst.
+  static bool on_route(Coord t, Coord src, Coord dst) {
+    const auto between = [](std::int32_t v, std::int32_t a, std::int32_t b) {
+      return a <= b ? (a <= v && v <= b) : (b <= v && v <= a);
+    };
+    return (t.y == src.y && between(t.x, src.x, dst.x)) ||
+           (t.x == dst.x && between(t.y, src.y, dst.y));
+  }
+
+  const MachineParams& p_;
+  const MeshTopology& topo_;
+  std::vector<Root> roots_;  ///< live roots, all words (short: pruned often)
+  Counters counters_;
+};
+
+}  // namespace hmps::arch

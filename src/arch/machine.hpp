@@ -10,6 +10,7 @@
 #include "arch/params.hpp"
 #include "arch/topology.hpp"
 #include "arch/udn.hpp"
+#include "arch/vlink.hpp"
 #include "sim/fault.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/trace.hpp"
@@ -24,6 +25,7 @@ class Machine {
         topo_(params_),
         coh_(params_, topo_),
         udn_(params_, topo_, sched_),
+        vlink_(params_, topo_, sched_, udn_.noc()),
         cores_(topo_.cores()) {
     // The tracer pointer is one branch on the UDN send path; flow events
     // are only recorded while the tracer is enabled.
@@ -44,6 +46,7 @@ class Machine {
   const MeshTopology& topo() const { return topo_; }
   CoherenceModel& coherence() { return coh_; }
   UdnModel& udn() { return udn_; }
+  VlinkFabric& vlink() { return vlink_; }
   sim::Scheduler& sched() { return sched_; }
   sim::Tracer& tracer() { return tracer_; }
   sim::FaultInjector& faults() { return faults_; }
@@ -54,6 +57,7 @@ class Machine {
   /// every model path byte-identical to a plain run.
   void install_faults(const sim::FaultPlan& plan) {
     udn_.attach_faults(&faults_);
+    vlink_.attach_faults(&faults_);
     faults_.install(plan, cores());
   }
 
@@ -68,6 +72,7 @@ class Machine {
     for (auto& c : cores_) c.reset_window(sched_.now());
     coh_.reset_counters();
     udn_.reset_counters();
+    vlink_.reset_counters();
   }
 
   /// Idle-fills every core's cycle account up to the current simulated
@@ -98,6 +103,7 @@ class Machine {
   MeshTopology topo_;
   CoherenceModel coh_;
   UdnModel udn_;
+  VlinkFabric vlink_;
   std::vector<CoreState> cores_;
 };
 

@@ -119,18 +119,21 @@ Cycle NocModel::route(Tid src, Tid dst, Cycle inject_time,
   const bool jitter = faults_ && faults_->active();
   const bool chips = !link_extra_.empty();
   for (; link != end; ++link) {
+    // Jitter slows the flit stream itself, not just the head: the extra
+    // cycles extend the link hold, so later messages crossing this link
+    // queue behind the jitter exactly like they queue behind the flits.
+    const Cycle jit = jitter ? faults_->hop_jitter() : 0;
     Cycle& b = busy_[*link];
     const Cycle start = b > t ? b : t;
     counters_.link_wait += start - t;
     if (!link_busy_.empty()) {
-      link_busy_[*link] += hold;
+      link_busy_[*link] += hold + jit;
       link_wait_[*link] += start - t;
     }
     // The link carries the message's flits back to back.
-    b = start + hold;
-    t = start + p_.hop;
+    b = start + hold + jit;
+    t = start + p_.hop + jit;
     if (chips) t += link_extra_[*link];
-    if (jitter) t += faults_->hop_jitter();
     ++counters_.hops;
   }
   return t;

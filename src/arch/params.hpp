@@ -66,6 +66,13 @@ struct MachineParams {
   /// stage, the slot frees early.
   Cycle ctrl_op_cas_fail = 6;
   Cycle atomic_local_extra = 4; ///< x86-style in-cache RMW extra cost
+  /// In-network combining of unconditional RMWs (NYU-Ultracomputer style):
+  /// fetch-and-add/exchange messages to the same word that overlap at a
+  /// router on the way to the memory controller merge into one downstream
+  /// message, and the combined reply fans back out on the return path
+  /// (docs/MODEL.md §11). Requires atomics_at_ctrl; off by default — every
+  /// knob-off trace stays bit-identical.
+  bool noc_combining = false;
 
   // --- hardware message passing (UDN) ---
   bool has_udn = true;

@@ -99,6 +99,18 @@ class MeshTopology {
            chip_extra_ * chip_crossings(ca, cb);
   }
 
+  /// Mesh coordinate of a memory controller's attach point (the combining
+  /// model walks routes toward it router by router).
+  Coord ctrl_coord(std::uint32_t ctrl) const {
+    return ctrls_[ctrl % ctrls_.size()];
+  }
+
+  /// One-way latency between two coordinates (same formula as wire(), for
+  /// callers that already hold Coords mid-route).
+  Cycle wire_coord(Coord a, Coord b) const {
+    return router_ + hop_ * manhattan(a, b) + chip_extra_ * chip_crossings(a, b);
+  }
+
   /// Home tile of a cache line: lines are hash-distributed over all tiles
   /// (TILE-Gx "hash-for-home" distributed directory).
   sim::Tid home_tile(std::uint64_t line) const {

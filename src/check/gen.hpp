@@ -55,6 +55,10 @@ inline arch::MachineParams random_machine(std::uint64_t seed) {
   p.allow_prefetch = r.below(2) == 0;
   p.atomics_at_ctrl = r.below(4) != 0;  // mostly TILE-style
   p.model_link_contention = r.below(2) == 0;
+  // In-network combining of unconditional RMWs (docs/MODEL.md §11). Drawn
+  // LAST so machines for seeds that predate the knob keep every other
+  // parameter unchanged; correctness must hold with the NoC merging FAAs.
+  p.noc_combining = r.below(2) == 0;
   return p;
 }
 

@@ -102,6 +102,7 @@ bool machine_from_json(const JsonValue& j, arch::MachineParams* p,
   ok &= get_u64(j, "ctrl_op_cas", &p->ctrl_op_cas);
   ok &= get_u64(j, "ctrl_op_cas_fail", &p->ctrl_op_cas_fail);
   ok &= get_u64(j, "atomic_local_extra", &p->atomic_local_extra);
+  ok &= get_bool(j, "noc_combining", &p->noc_combining);
   ok &= get_bool(j, "has_udn", &p->has_udn);
   ok &= get_u32(j, "udn_buf_words", &p->udn_buf_words);
   ok &= get_u32(j, "udn_queues", &p->udn_queues);

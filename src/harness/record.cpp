@@ -21,6 +21,7 @@
 #include "sync/oyama.hpp"
 #include "sync/sharded.hpp"
 #include "sync/shm_server.hpp"
+#include "sync/vlink_server.hpp"
 
 namespace hmps::harness {
 
@@ -32,7 +33,7 @@ using rt::SimExecutor;
 constexpr const char* kConstructionNames[kNumConstructions] = {
     "mp_server", "hybcomb", "shm_server", "ccsynch", "dsm_synch",
     "flat_combining", "hsynch", "oyama", "mcs_lock", "mp_server_hub",
-    "sharded"};
+    "sharded", "vlink"};
 
 constexpr const char* kObjectNames[kNumObjects] = {
     "counter", "queue", "stack", "lcrq", "elim_stack"};
@@ -303,7 +304,8 @@ bool object_from_string(std::string_view s, Object* out) {
 
 bool uses_server(Construction c) {
   return c == Construction::kMpServer || c == Construction::kShmServer ||
-         c == Construction::kMpServerHub || c == Construction::kSharded;
+         c == Construction::kMpServerHub || c == Construction::kSharded ||
+         c == Construction::kVlink;
 }
 
 std::uint32_t server_threads(Construction c, std::uint32_t shards) {
@@ -314,7 +316,7 @@ std::uint32_t server_threads(Construction c, std::uint32_t shards) {
 bool supports_async(Construction c) {
   return c == Construction::kMpServer || c == Construction::kMpServerHub ||
          c == Construction::kShmServer || c == Construction::kHybComb ||
-         c == Construction::kSharded;
+         c == Construction::kSharded || c == Construction::kVlink;
 }
 
 RecordResult record_history(const RecordCfg& cfg, sim::Perturber* perturber) {
@@ -373,6 +375,7 @@ RecordResult record_history(const RecordCfg& cfg, sim::Perturber* perturber) {
   sync::HSynch<SimCtx> hs(obj, mo32);
   sync::OyamaComb<SimCtx> oy(obj);
   McsUc mcs{{}, obj};
+  sync::VlinkServer<SimCtx> vl(ex.machine().vlink(), /*server_core=*/0, obj);
 
   auto apply = [&](SimCtx& ctx, sync::CsFn<SimCtx> fn,
                    std::uint64_t arg) -> std::uint64_t {
@@ -388,6 +391,8 @@ RecordResult record_history(const RecordCfg& cfg, sim::Perturber* perturber) {
       case Construction::kMcsLock: return mcs.apply(ctx, fn, arg);
       case Construction::kMpServerHub:
         return hub.apply(ctx, hub_opcode(fn), arg);
+      case Construction::kVlink: return vl.apply(ctx, fn, arg);
+      case Construction::kSharded: break;  // handled by record_sharded()
     }
     return 0;
   };
@@ -402,6 +407,7 @@ RecordResult record_history(const RecordCfg& cfg, sim::Perturber* perturber) {
       case Construction::kShmServer: return shm.apply_async(ctx, fn, arg);
       case Construction::kMpServerHub:
         return hub.apply_async(ctx, hub_opcode(fn), arg);
+      case Construction::kVlink: return vl.apply_async(ctx, fn, arg);
       default: return sync::Ticket{0, apply(ctx, fn, arg), 0};
     }
   };
@@ -411,6 +417,7 @@ RecordResult record_history(const RecordCfg& cfg, sim::Perturber* perturber) {
       case Construction::kHybComb: return hyb.wait(ctx, t);
       case Construction::kShmServer: return shm.wait(ctx, t);
       case Construction::kMpServerHub: return hub.wait(ctx, t);
+      case Construction::kVlink: return vl.wait(ctx, t);
       default: return t.value;
     }
   };
@@ -429,6 +436,8 @@ RecordResult record_history(const RecordCfg& cfg, sim::Perturber* perturber) {
         mp.serve(ctx);
       } else if (cfg.construction == Construction::kMpServerHub) {
         hub.serve(ctx);
+      } else if (cfg.construction == Construction::kVlink) {
+        vl.serve(ctx);
       } else {
         shm.serve(ctx);
       }
@@ -518,6 +527,8 @@ RecordResult record_history(const RecordCfg& cfg, sim::Perturber* perturber) {
             mp.request_stop(ctx);
           } else if (cfg.construction == Construction::kMpServerHub) {
             hub.request_stop(ctx);
+          } else if (cfg.construction == Construction::kVlink) {
+            vl.request_stop(ctx);
           } else {
             shm.request_stop(ctx);
           }
@@ -597,6 +608,8 @@ RecordResult record_history(const RecordCfg& cfg, sim::Perturber* perturber) {
           mp.request_stop(ctx);
         } else if (cfg.construction == Construction::kMpServerHub) {
           hub.request_stop(ctx);
+        } else if (cfg.construction == Construction::kVlink) {
+          vl.request_stop(ctx);
         } else {
           shm.request_stop(ctx);
         }

@@ -41,8 +41,9 @@ enum class Construction : std::uint8_t {
   kMcsLock,
   kMpServerHub,
   kSharded,  ///< multi-server object farm (docs/SHARDING.md)
+  kVlink,    ///< delegation over the Virtual-Link MPMC channel (MODEL.md §12)
 };
-inline constexpr std::uint32_t kNumConstructions = 11;
+inline constexpr std::uint32_t kNumConstructions = 12;
 
 /// Concurrent objects the harness can drive. Counter/queue/stack run their
 /// sequential bodies under the chosen construction; LCRQ and the

@@ -85,6 +85,8 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       a.telemetry_window = std::strtoull(next(), nullptr, 10);
     } else if (std::strcmp(s, "--noc") == 0) {
       a.noc = true;
+    } else if (std::strcmp(s, "--noc-combining") == 0) {
+      a.noc_combining = true;
     } else if (std::strcmp(s, "--mesh") == 0) {
       const char* v = next();
       char* end = nullptr;
@@ -101,7 +103,7 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       std::cout << "flags: [--full] [--quick] [--csv FILE] [--json FILE] "
                    "[--trace FILE] [--threads N] [--window CYCLES] [--reps N] "
                    "[--seed N] [--jobs N] [--mesh WxH] "
-                   "[--telemetry-window CYCLES] [--noc]\n";
+                   "[--telemetry-window CYCLES] [--noc] [--noc-combining]\n";
       std::exit(0);
     }
   }

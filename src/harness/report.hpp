@@ -44,7 +44,9 @@ std::string fmt(double v, int prec = 2);
 /// benches that honor it. `--telemetry-window N` turns on the windowed
 /// sampler (obs/telemetry.hpp) at an N-cycle cadence, and `--noc` enables
 /// the link-contention NoC model so the telemetry heatmap has per-link
-/// data (docs/OBSERVABILITY.md).
+/// data (docs/OBSERVABILITY.md). `--noc-combining` turns on in-network
+/// combining of unconditional RMWs (docs/MODEL.md §11) on the benches that
+/// honor it, for combining-on/off transport comparisons.
 struct BenchArgs {
   bool full = false;
   bool quick = false;  ///< CI smoke mode: shortest meaningful sweep
@@ -60,6 +62,7 @@ struct BenchArgs {
   std::uint32_t mesh_h = 0;
   std::uint64_t telemetry_window = 0;  // sampler cadence, cycles; 0 = off
   bool noc = false;  // model link contention (per-link heatmap data)
+  bool noc_combining = false;  // in-network RMW combining (MODEL.md §11)
 
   static BenchArgs parse(int argc, char** argv);
 };

@@ -24,6 +24,7 @@
 #include "sync/mp_server.hpp"
 #include "sync/sharded.hpp"
 #include "sync/shm_server.hpp"
+#include "sync/vlink_server.hpp"
 
 namespace hmps::harness {
 
@@ -157,7 +158,8 @@ SyncStats diff_stats(const SyncStats& cur, const SyncStats& prev) {
 
 RunResult run_service(const ServiceCfg& cfg, Approach a) {
   if (a != Approach::kMpServer && a != Approach::kHybComb &&
-      a != Approach::kShmServer && a != Approach::kCcSynch) {
+      a != Approach::kShmServer && a != Approach::kCcSynch &&
+      a != Approach::kVlinkServer) {
     std::fprintf(stderr,
                  "hmps fatal: run_service: approach %s has no service "
                  "driver\n",
@@ -200,12 +202,17 @@ RunResult run_service(const ServiceCfg& cfg, Approach a) {
   sync::HybComb<SimCtx> hyb(obj, base.max_ops, /*fixed_combiner=*/false,
                             hopts);
   sync::CcSynch<SimCtx> cc(obj, static_cast<std::uint32_t>(base.max_ops));
+  // The executor (and so the Virtual-Link fabric) already exists here, so
+  // the vlink construction is built directly — no deferred init needed.
+  sync::VlinkServer<SimCtx> vl(ex.machine().vlink(), /*server_core=*/0, obj,
+                               base.max_inflight);
 
   auto stats_slot = [&](std::uint32_t t) -> SyncStats& {
     switch (a) {
       case Approach::kMpServer: return mp.stats(t);
       case Approach::kHybComb: return hyb.stats(t);
       case Approach::kShmServer: return shm.stats(t);
+      case Approach::kVlinkServer: return vl.stats(t);
       default: return cc.stats(t);
     }
   };
@@ -220,6 +227,8 @@ RunResult run_service(const ServiceCfg& cfg, Approach a) {
     ex.add_thread([&](SimCtx& ctx) {
       if (a == Approach::kMpServer) {
         mp.serve(ctx);
+      } else if (a == Approach::kVlinkServer) {
+        vl.serve(ctx);
       } else {
         shm.serve(ctx);
       }
@@ -230,15 +239,18 @@ RunResult run_service(const ServiceCfg& cfg, Approach a) {
   using MpBatch = sync::AsyncBatcher<SimCtx, sync::MpServer<SimCtx>>;
   using HybBatch = sync::AsyncBatcher<SimCtx, sync::HybComb<SimCtx>>;
   using ShmBatch = sync::AsyncBatcher<SimCtx, sync::ShmServer<SimCtx>>;
+  using VlBatch = sync::AsyncBatcher<SimCtx, sync::VlinkServer<SimCtx>>;
   std::vector<MpBatch> mpb;
   std::vector<HybBatch> hybb;
   std::vector<ShmBatch> shmb;
+  std::vector<VlBatch> vlb;
   const bool batching = base.async_batch >= 2 && a != Approach::kCcSynch;
   if (batching) {
     for (std::uint32_t t = 0; t < 64; ++t) {
       mpb.emplace_back(mp, base.async_batch);
       hybb.emplace_back(hyb, base.async_batch);
       shmb.emplace_back(shm, base.async_batch);
+      vlb.emplace_back(vl, base.async_batch);
     }
   }
 
@@ -275,6 +287,8 @@ RunResult run_service(const ServiceCfg& cfg, Approach a) {
     });
     if (a == Approach::kMpServer) {
       tel.add_gauge("server_inflight", [&mp] { return mp.inflight(); });
+    } else if (a == Approach::kVlinkServer) {
+      tel.add_gauge("server_inflight", [&vl] { return vl.inflight(); });
     } else if (a == Approach::kHybComb) {
       tel.add_gauge("combiner_inflight",
                     [&hyb] { return hyb.combiner_inflight(); });
@@ -330,6 +344,7 @@ RunResult run_service(const ServiceCfg& cfg, Approach a) {
             switch (a) {
               case Approach::kMpServer: n = mpb[tid].flush(ctx); break;
               case Approach::kHybComb: n = hybb[tid].flush(ctx); break;
+              case Approach::kVlinkServer: n = vlb[tid].flush(ctx); break;
               default: n = shmb[tid].flush(ctx); break;
             }
             if (n > 0) {
@@ -368,6 +383,7 @@ RunResult run_service(const ServiceCfg& cfg, Approach a) {
           switch (a) {
             case Approach::kMpServer: n = mpb[tid].add(ctx, fn, arg); break;
             case Approach::kHybComb: n = hybb[tid].add(ctx, fn, arg); break;
+            case Approach::kVlinkServer: n = vlb[tid].add(ctx, fn, arg); break;
             default: n = shmb[tid].add(ctx, fn, arg); break;
           }
           if (n > 0) {
@@ -383,6 +399,7 @@ RunResult run_service(const ServiceCfg& cfg, Approach a) {
             case Approach::kMpServer: mp.apply(ctx, fn, arg); break;
             case Approach::kHybComb: hyb.apply(ctx, fn, arg); break;
             case Approach::kShmServer: shm.apply(ctx, fn, arg); break;
+            case Approach::kVlinkServer: vl.apply(ctx, fn, arg); break;
             default: cc.apply(ctx, fn, arg); break;
           }
           record(arr.t, t_disp, ctx.now());

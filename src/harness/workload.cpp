@@ -26,6 +26,9 @@
 #include "sync/mp_server.hpp"
 #include "sync/shm_server.hpp"
 #include "sync/universal.hpp"
+#include "sync/vlink_server.hpp"
+
+#include <optional>
 
 namespace hmps::harness {
 
@@ -45,12 +48,14 @@ const char* approach_name(Approach a) {
     case Approach::kTicketLock: return "ticket";
     case Approach::kTasLock: return "tas";
     case Approach::kTtasLock: return "ttas";
+    case Approach::kVlinkServer: return "vlink-server";
   }
   return "?";
 }
 
 bool approach_needs_server(Approach a) {
-  return a == Approach::kMpServer || a == Approach::kShmServer;
+  return a == Approach::kMpServer || a == Approach::kShmServer ||
+         a == Approach::kVlinkServer;
 }
 
 const char* queue_name(QueueImpl q) {
@@ -61,6 +66,7 @@ const char* queue_name(QueueImpl q) {
     case QueueImpl::kCc1: return "CC-Synch-1";
     case QueueImpl::kMp2: return "mp-server-2";
     case QueueImpl::kLcrq: return "LCRQ";
+    case QueueImpl::kVl1: return "vlink-1";
   }
   return "?";
 }
@@ -72,6 +78,7 @@ const char* stack_name(StackImpl s) {
     case StackImpl::kShm: return "shm-server";
     case StackImpl::kCc: return "CC-Synch";
     case StackImpl::kTreiber: return "Treiber";
+    case StackImpl::kVl: return "vlink";
   }
   return "?";
 }
@@ -92,6 +99,12 @@ struct Snapshot {
 };
 
 struct DriverHooks {
+  // Called once with the freshly built executor, before any thread is
+  // added. Constructions that need a machine model reference at
+  // construction time (the Virtual-Link fabric lives inside the executor's
+  // Machine) are created here into optionals on the caller's frame; the
+  // closures below then dereference them. May be empty.
+  std::function<void(SimExecutor&)> init;
   // One application operation (op index k for alternation). Runs on an app
   // thread's context. Returns the number of operations COMPLETED by the
   // call: 1 for synchronous apply, 0 while an async batcher is buffering,
@@ -121,6 +134,7 @@ RunResult drive(const RunCfg& cfg, DriverHooks hooks) {
     ex.machine().tracer().enable(cfg.obs.trace_max_events);
     ex.machine().tracer().set_process(cfg.obs.pid, cfg.obs.label);
   }
+  if (hooks.init) hooks.init(ex);
   const std::uint32_t ns = static_cast<std::uint32_t>(hooks.servers.size());
   const std::uint32_t na = cfg.app_threads;
 
@@ -357,18 +371,25 @@ RunResult run_counter(const RunCfg& cfg, Approach a) {
   hopts.max_inflight = cfg.max_inflight;
   sync::HybComb<SimCtx> hyb(obj, cfg.max_ops, cfg.fixed_combiner, hopts);
 
+  // The Virtual-Link construction needs the executor's fabric at
+  // construction time; DriverHooks::init fills the optional once the
+  // executor exists (before any thread runs).
+  std::optional<sync::VlinkServer<SimCtx>> vl;
+
   // Per-thread request batchers for the async-capable constructions
   // (indexed by ctx.tid(); unused entries are inert).
   using MpBatch = sync::AsyncBatcher<SimCtx, sync::MpServer<SimCtx>>;
   using HybBatch = sync::AsyncBatcher<SimCtx, sync::HybComb<SimCtx>>;
   using ShmBatch = sync::AsyncBatcher<SimCtx, sync::ShmServer<SimCtx>>;
+  using VlBatch = sync::AsyncBatcher<SimCtx, sync::VlinkServer<SimCtx>>;
   std::vector<MpBatch> mpb;
   std::vector<HybBatch> hybb;
   std::vector<ShmBatch> shmb;
+  std::vector<VlBatch> vlb;
   const bool batching =
       cfg.async_batch >= 2 &&
       (a == Approach::kMpServer || a == Approach::kHybComb ||
-       a == Approach::kShmServer);
+       a == Approach::kShmServer || a == Approach::kVlinkServer);
   if (batching) {
     mpb.reserve(64);
     hybb.reserve(64);
@@ -388,10 +409,24 @@ RunResult run_counter(const RunCfg& cfg, Approach a) {
   sync::LockUc<SimCtx, sync::TtasLock<SimCtx>> ttas(obj);
 
   DriverHooks hooks;
+  if (a == Approach::kVlinkServer) {
+    hooks.init = [&](SimExecutor& ex) {
+      vl.emplace(ex.machine().vlink(), /*server_core=*/0, obj,
+                 cfg.max_inflight);
+      if (batching) {
+        vlb.reserve(64);
+        for (std::uint32_t t = 0; t < 64; ++t) {
+          vlb.emplace_back(*vl, cfg.async_batch);
+        }
+      }
+    };
+  }
   if (approach_needs_server(a)) {
     hooks.servers.push_back([&, a](SimCtx& ctx) {
       if (a == Approach::kMpServer) {
         mp.serve(ctx);
+      } else if (a == Approach::kVlinkServer) {
+        vl->serve(ctx);
       } else {
         shm.serve(ctx);
       }
@@ -402,6 +437,7 @@ RunResult run_counter(const RunCfg& cfg, Approach a) {
       switch (a) {
         case Approach::kMpServer: return mpb[ctx.tid()].add(ctx, fn, arg);
         case Approach::kHybComb: return hybb[ctx.tid()].add(ctx, fn, arg);
+        case Approach::kVlinkServer: return vlb[ctx.tid()].add(ctx, fn, arg);
         default: return shmb[ctx.tid()].add(ctx, fn, arg);
       }
     };
@@ -417,6 +453,7 @@ RunResult run_counter(const RunCfg& cfg, Approach a) {
         case Approach::kTicketLock: ticket.apply(ctx, fn, arg); break;
         case Approach::kTasLock: tas.apply(ctx, fn, arg); break;
         case Approach::kTtasLock: ttas.apply(ctx, fn, arg); break;
+        case Approach::kVlinkServer: vl->apply(ctx, fn, arg); break;
       }
       return 1;
     };
@@ -424,6 +461,8 @@ RunResult run_counter(const RunCfg& cfg, Approach a) {
   hooks.register_telemetry = [&, a](obs::Telemetry& tel) {
     if (a == Approach::kMpServer) {
       tel.add_gauge("server_inflight", [&mp] { return mp.inflight(); });
+    } else if (a == Approach::kVlinkServer) {
+      tel.add_gauge("server_inflight", [&vl] { return vl->inflight(); });
     } else if (a == Approach::kHybComb) {
       tel.add_gauge("combiner_inflight",
                     [&hyb] { return hyb.combiner_inflight(); });
@@ -443,6 +482,7 @@ RunResult run_counter(const RunCfg& cfg, Approach a) {
         case Approach::kTicketLock: s = &ticket.stats(t); break;
         case Approach::kTasLock: s = &tas.stats(t); break;
         case Approach::kTtasLock: s = &ttas.stats(t); break;
+        case Approach::kVlinkServer: s = &vl->stats(t); break;
       }
       sum.add(*s);
     }
@@ -483,11 +523,19 @@ RunResult run_queue(const RunCfg& cfg, QueueImpl qi) {
   sync::CcSynch<SimCtx> cc(&q, static_cast<std::uint32_t>(cfg.max_ops));
   sync::MpServer<SimCtx> mp2e(0, &q, cfg.max_inflight);
   sync::MpServer<SimCtx> mp2d(1, &q, cfg.max_inflight);
+  std::optional<sync::VlinkServer<SimCtx>> vl1;
 
   DriverHooks hooks;
   switch (qi) {
     case QueueImpl::kMp1:
       hooks.servers.push_back([&](SimCtx& ctx) { mp1.serve(ctx); });
+      break;
+    case QueueImpl::kVl1:
+      hooks.init = [&](SimExecutor& ex) {
+        vl1.emplace(ex.machine().vlink(), /*server_core=*/0, &q,
+                    cfg.max_inflight);
+      };
+      hooks.servers.push_back([&](SimCtx& ctx) { vl1->serve(ctx); });
       break;
     case QueueImpl::kShm1:
       hooks.servers.push_back([&](SimCtx& ctx) { shm.serve(ctx); });
@@ -560,6 +608,10 @@ RunResult run_queue(const RunCfg& cfg, QueueImpl qi) {
         enq ? lcrq.enqueue(ctx, static_cast<std::uint32_t>(v))
             : (void)lcrq.dequeue(ctx);
         break;
+      case QueueImpl::kVl1:
+        enq ? (void)vl1->apply(ctx, ds::q_enqueue<SimCtx>, v)
+            : (void)vl1->apply(ctx, ds::q_dequeue<SimCtx>, 0);
+        break;
     }
     return 1;
   };
@@ -577,6 +629,7 @@ RunResult run_queue(const RunCfg& cfg, QueueImpl qi) {
           acc(mp2d.stats(t));
           break;
         case QueueImpl::kLcrq: break;
+        case QueueImpl::kVl1: acc(vl1->stats(t)); break;
       }
     }
     return sum;
@@ -595,12 +648,19 @@ RunResult run_stack(const RunCfg& cfg, StackImpl si) {
   sync::HybComb<SimCtx> hyb(&st, cfg.max_ops, /*fixed_combiner=*/false, hopts);
   sync::ShmServer<SimCtx> shm(0, &st);
   sync::CcSynch<SimCtx> cc(&st, static_cast<std::uint32_t>(cfg.max_ops));
+  std::optional<sync::VlinkServer<SimCtx>> vl;
 
   DriverHooks hooks;
   if (si == StackImpl::kMp) {
     hooks.servers.push_back([&](SimCtx& ctx) { mp.serve(ctx); });
   } else if (si == StackImpl::kShm) {
     hooks.servers.push_back([&](SimCtx& ctx) { shm.serve(ctx); });
+  } else if (si == StackImpl::kVl) {
+    hooks.init = [&](SimExecutor& ex) {
+      vl.emplace(ex.machine().vlink(), /*server_core=*/0, &st,
+                 cfg.max_inflight);
+    };
+    hooks.servers.push_back([&](SimCtx& ctx) { vl->serve(ctx); });
   }
   hooks.op = [&, si](SimCtx& ctx, std::uint64_t k) -> std::uint64_t {
     const bool push = (k & 1) == 0;
@@ -625,6 +685,10 @@ RunResult run_stack(const RunCfg& cfg, StackImpl si) {
       case StackImpl::kTreiber:
         push ? tr.push(ctx, v) : (void)tr.pop(ctx);
         break;
+      case StackImpl::kVl:
+        push ? (void)vl->apply(ctx, ds::s_push<SimCtx>, v)
+             : (void)vl->apply(ctx, ds::s_pop<SimCtx>, 0);
+        break;
     }
     return 1;
   };
@@ -641,6 +705,7 @@ RunResult run_stack(const RunCfg& cfg, StackImpl si) {
           sum.cas_attempts += tr.stats(t).cas_failures;
           break;
         }
+        case StackImpl::kVl: acc(vl->stats(t)); break;
       }
     }
     return sum;

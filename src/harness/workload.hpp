@@ -40,17 +40,18 @@ enum class Approach {
   kTicketLock,
   kTasLock,
   kTtasLock,
+  kVlinkServer,  ///< delegation over the Virtual-Link MPMC transport
 };
 
 const char* approach_name(Approach a);
 bool approach_needs_server(Approach a);
 
-/// Queue implementations of Fig. 5a.
-enum class QueueImpl { kMp1, kHyb1, kShm1, kCc1, kMp2, kLcrq };
+/// Queue implementations of Fig. 5a (kVl1 = Virtual-Link transport).
+enum class QueueImpl { kMp1, kHyb1, kShm1, kCc1, kMp2, kLcrq, kVl1 };
 const char* queue_name(QueueImpl q);
 
-/// Stack implementations of Fig. 5b.
-enum class StackImpl { kMp, kHyb, kShm, kCc, kTreiber };
+/// Stack implementations of Fig. 5b (kVl = Virtual-Link transport).
+enum class StackImpl { kMp, kHyb, kShm, kCc, kTreiber, kVl };
 const char* stack_name(StackImpl s);
 
 /// Observability sinks for one benchmark run (see harness/artifact.hpp for

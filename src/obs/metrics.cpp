@@ -77,6 +77,7 @@ JsonValue MetricsRegistry::params_json(const arch::MachineParams& p) {
   j["ctrl_op_cas"] = JsonValue(p.ctrl_op_cas);
   j["ctrl_op_cas_fail"] = JsonValue(p.ctrl_op_cas_fail);
   j["atomic_local_extra"] = JsonValue(p.atomic_local_extra);
+  j["noc_combining"] = JsonValue(p.noc_combining);
   j["has_udn"] = JsonValue(p.has_udn);
   j["udn_buf_words"] = JsonValue(p.udn_buf_words);
   j["udn_queues"] = JsonValue(p.udn_queues);
@@ -122,11 +123,23 @@ JsonValue MetricsRegistry::machine_json(arch::Machine& m) {
   udn["peak_occupancy"] = JsonValue(uc.peak_occupancy);
   j["udn"] = std::move(udn);
 
+  const auto& vc = m.vlink().counters();
+  JsonValue vl = JsonValue::object();
+  vl["frames"] = JsonValue(vc.frames);
+  vl["words"] = JsonValue(vc.words);
+  vl["producer_blocks"] = JsonValue(vc.producer_blocks);
+  vl["consumer_waits"] = JsonValue(vc.consumer_waits);
+  vl["peak_occupancy"] = JsonValue(vc.peak_occupancy);
+  j["vlink"] = std::move(vl);
+
   const auto& nc = m.udn().noc().counters();
   JsonValue noc = JsonValue::object();
   noc["messages"] = JsonValue(nc.messages);
   noc["hops"] = JsonValue(nc.hops);
   noc["link_wait"] = JsonValue(nc.link_wait);
+  const auto& cmb = m.coherence().combining().counters();
+  noc["combines"] = JsonValue(cmb.combines);
+  noc["decombines"] = JsonValue(cmb.decombines);
   j["noc"] = std::move(noc);
 
   const auto& fc = m.faults().counters();

@@ -45,6 +45,7 @@ void Telemetry::start(sim::Cycle t0, sim::Cycle t_end) {
   const auto& nc = m_.udn().noc().counters();
   prev_noc_messages_ = nc.messages;
   prev_noc_link_wait_ = nc.link_wait;
+  prev_noc_combines_ = m_.coherence().combining().counters().combines;
   base_link_busy_ = m_.udn().noc().link_busy();
   base_link_wait_ = m_.udn().noc().link_wait();
   for (auto& c : counters_) c.prev = c.fn();
@@ -113,6 +114,10 @@ void Telemetry::close_window(sim::Cycle t) {
   w.noc_link_wait = nc.link_wait - prev_noc_link_wait_;
   prev_noc_messages_ = nc.messages;
   prev_noc_link_wait_ = nc.link_wait;
+  const std::uint64_t combines =
+      m_.coherence().combining().counters().combines;
+  w.noc_combines = combines - prev_noc_combines_;
+  prev_noc_combines_ = combines;
 
   w.gauges.reserve(gauges_.size());
   for (auto& g : gauges_) w.gauges.push_back(g.fn());
@@ -190,12 +195,15 @@ JsonValue Telemetry::to_json() const {
   JsonValue noc = JsonValue::object();
   JsonValue msgs = JsonValue::array();
   JsonValue lw = JsonValue::array();
+  JsonValue cmb = JsonValue::array();
   for (const Window& w : windows_) {
     msgs.push_back(JsonValue(w.noc_messages));
     lw.push_back(JsonValue(w.noc_link_wait));
+    cmb.push_back(JsonValue(w.noc_combines));
   }
   noc["messages"] = std::move(msgs);
   noc["link_wait"] = std::move(lw);
+  noc["combines"] = std::move(cmb);
   out["noc"] = std::move(noc);
 
   if (!gauges_.empty()) {

@@ -124,6 +124,7 @@ class Telemetry {
     std::uint64_t rx_words = 0;       ///< instantaneous at window end
     std::uint64_t noc_messages = 0;   ///< delta
     std::uint64_t noc_link_wait = 0;  ///< delta
+    std::uint64_t noc_combines = 0;   ///< delta (in-network RMW merges)
     std::uint64_t completions = 0;
     std::uint64_t p50 = 0, p99 = 0, max = 0;
     std::vector<std::uint64_t> gauges;
@@ -149,6 +150,7 @@ class Telemetry {
   std::vector<CycleAccount> prev_accounts_;
   std::uint64_t prev_noc_messages_ = 0;
   std::uint64_t prev_noc_link_wait_ = 0;
+  std::uint64_t prev_noc_combines_ = 0;
 
   // Run-start per-link baselines for the heatmap grid (the NoC accumulates
   // since machine construction; the grid should cover the measured run).

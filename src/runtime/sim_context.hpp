@@ -209,6 +209,51 @@ class SimCtx {
     return m_.udn().queue_empty(core_, queue_);
   }
 
+  // ---- virtual-link channels (arch/vlink.hpp; sim-only transport) ----
+  // Accounting mirrors the UDN ops bucket for bucket (push backpressure is
+  // kUdnSendBlock, pop waits are kUdnRecvWait / kUdnAsyncWait), so Fig. 4a
+  // style breakdowns compare the transports without new schema buckets.
+
+  void vlink_push(std::uint32_t ch, const std::uint64_t* words,
+                  std::size_t n) {
+    fault_stall();
+    auto& c = m_.core(core_);
+    ++c.msgs_sent;
+    const Cycle t0 = now();
+    m_.vlink().push(core_, ch, words, n);
+    const Cycle dt = now() - t0;
+    c.busy += dt;  // injection cost; backpressure counts as busy-wait
+    const Cycle inject = m_.params().udn_inject +
+                         m_.params().udn_per_word_wire * static_cast<Cycle>(n);
+    const Cycle block = dt > inject ? dt - inject : 0;
+    charge(Bucket::kUdnSendBlock, t0, t0 + block);
+    charge(Bucket::kCompute, t0 + block, t0 + dt);
+    m_.tracer().event(core_, "vlink-push", t0, dt);
+  }
+
+  void vlink_push(std::uint32_t ch, std::initializer_list<std::uint64_t> w) {
+    vlink_push(ch, w.begin(), w.size());
+  }
+
+  void vlink_pop(std::uint32_t ch, std::uint64_t* out, std::size_t n) {
+    vlink_pop_impl(ch, out, n, Bucket::kUdnRecvWait, "vlink-pop");
+  }
+
+  /// Identical timing to vlink_pop(); the wait is attributed to the
+  /// async-delegation bucket (ticket reaping, docs/MODEL.md §9).
+  void vlink_pop_async(std::uint32_t ch, std::uint64_t* out, std::size_t n) {
+    vlink_pop_impl(ch, out, n, Bucket::kUdnAsyncWait, "vlink-pop-async");
+  }
+
+  bool vlink_empty(std::uint32_t ch) {
+    fault_stall();
+    auto& c = m_.core(core_);
+    c.busy += 1;
+    charge(Bucket::kCompute, now(), now() + 1);
+    m_.sched().wait_for(1);
+    return m_.vlink().empty(ch);
+  }
+
   // ---- execution ----
 
   void compute(Cycle cycles) { busy_wait(cycles, Bucket::kCompute, "compute"); }
@@ -259,6 +304,25 @@ class SimCtx {
   }
 
  private:
+  void vlink_pop_impl(std::uint32_t ch, std::uint64_t* out, std::size_t n,
+                      Bucket wait_bucket, const char* name) {
+    fault_stall();
+    auto& c = m_.core(core_);
+    ++c.msgs_received;
+    const Cycle t0 = now();
+    m_.vlink().pop(core_, ch, out, n);
+    const Cycle dt = now() - t0;
+    m_.tracer().event(core_, name, t0, dt);
+    // The register reads trail; everything before them — the home-ring
+    // round trip plus any empty-channel block — is wait, not compute.
+    const Cycle pop_cost = m_.params().udn_recv_word * static_cast<Cycle>(n);
+    const Cycle wait = dt > pop_cost ? dt - pop_cost : 0;
+    c.busy += pop_cost;
+    c.idle += wait;
+    charge(wait_bucket, t0, t0 + wait);
+    charge(Bucket::kCompute, t0 + wait, t0 + dt);
+  }
+
   void receive_impl(std::uint64_t* out, std::size_t n, Bucket wait_bucket,
                     const char* wait_name) {
     fault_stall();

@@ -148,17 +148,30 @@ class Reservoir {
   std::size_t kept() const { return v_.size(); }
   const Summary& summary() const { return summary_; }
 
-  /// Exact quantile over the kept samples (nearest-rank on a sorted copy).
-  /// q in [0,1]; q=0.999 is the p999 the service harness reports.
+  /// Exact quantile over the kept samples: sorted copy, linear
+  /// interpolation between adjacent order statistics (the R type-7 /
+  /// NumPy default definition). q in [0,1]; q=0.999 is the p999 the
+  /// service harness reports.
+  ///
+  /// Interpolation, not nearest-rank rounding: rounding the rank q*(n-1)
+  /// and rounding the decimated rank q*(n/2^k - 1) disagree whenever the
+  /// fractional rank falls in [0.25, 0.5) — an off-by-one-sample error
+  /// that appears the moment the reservoir first halves, i.e. at exactly
+  /// 2^16 + 1 arrivals with the default capacity. Interpolated quantiles
+  /// of a stride-decimated stream match the interpolated quantiles of the
+  /// full offline sort (tests/test_service.cpp pins the boundary).
   std::uint64_t quantile(double q) const {
     if (v_.empty()) return 0;
     std::vector<std::uint64_t> s(v_);
     std::sort(s.begin(), s.end());
     double r = q * static_cast<double>(s.size() - 1);
     if (r < 0) r = 0;
-    std::size_t i = static_cast<std::size_t>(r + 0.5);
-    if (i >= s.size()) i = s.size() - 1;
-    return s[i];
+    const std::size_t i = static_cast<std::size_t>(r);
+    if (i >= s.size() - 1) return s.back();
+    const double frac = r - static_cast<double>(i);
+    const double lo = static_cast<double>(s[i]);
+    const double hi = static_cast<double>(s[i + 1]);
+    return static_cast<std::uint64_t>(lo + (hi - lo) * frac);
   }
 
   void merge(const Reservoir& o) {

@@ -98,7 +98,18 @@ class ShardedServer {
         max_inflight_(max_inflight),
         hooks_(hooks),
         route_(shard_route_table(n_objects, shards_)) {
-    assert(shards_ <= kMaxShards);
+    // Hard bound, not an assert: shard ids are packed into tag bits
+    // [30:26], so a 33rd shard would spill into the async reply mark and
+    // silently collide credits in release builds. Same failure contract as
+    // check_tid (docs/SHARDING.md).
+    if (shards_ > kMaxShards) [[unlikely]] {
+      std::fprintf(stderr,
+                   "hmps fatal: ShardedServer: %u shards exceed the %u-shard "
+                   "tag field (shard << 26 packing)\n",
+                   static_cast<unsigned>(shards_),
+                   static_cast<unsigned>(kMaxShards));
+      std::abort();
+    }
     for (auto& p : pending_) p.reserve(8);
   }
 
@@ -289,6 +300,14 @@ class ShardedServer {
     return sum;
   }
 
+  /// Test hook: jumps a client's next tag sequence for shard `s` so the
+  /// 26-bit wraparound boundary is reachable without 2^26 real operations
+  /// (tests/test_sharded.cpp). Not for production use.
+  void debug_set_seq(std::uint32_t client_slot, std::uint32_t s,
+                     std::uint64_t seq) {
+    clients_[client_slot].seq[s] = seq;
+  }
+
  private:
   // Server-to-server frame layout (first word):
   //   bit 63          kSrvMark (client request words never set it)
@@ -344,7 +363,23 @@ class ShardedServer {
     explore_point(ctx, "shard.async_issue");
     if (max_inflight_ != 0) acquire_credit_draining(ctx, st, c, s);
     std::uint64_t seq = c.seq[s];
-    if (seq == 0 || seq > kSeqMask) seq = 1;
+    if (seq == 0 || seq > kSeqMask) [[unlikely]] {
+      // The 26-bit sequence wraps back to 1. Recycling tags while tickets
+      // from the previous epoch are still outstanding on this shard would
+      // alias a live tag (wait() would complete the wrong ticket and
+      // release the wrong credit); die with a diagnosis instead of
+      // silently colliding.
+      if (seq != 0 && c.out[s] != 0) {
+        std::fprintf(stderr,
+                     "hmps fatal: ShardedServer: tag sequence for shard %u "
+                     "wrapped past 2^26 with %u tickets outstanding — "
+                     "recycled tags would collide\n",
+                     static_cast<unsigned>(s),
+                     static_cast<unsigned>(c.out[s]));
+        std::abort();
+      }
+      seq = 1;
+    }
     c.seq[s] = seq + 1;
     const std::uint64_t tag = (static_cast<std::uint64_t>(s) << kSeqBits) | seq;
     ctx.send(server_tid(s), {pack_request_id(ctx.tid(), tag), fn_word, arg});

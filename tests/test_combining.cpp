@@ -1,0 +1,162 @@
+// In-network combining of unconditional RMWs (arch/combining.hpp,
+// docs/MODEL.md §11): knob-off runs are bit-identical to the pre-knob
+// model, knob-on runs merge concurrent FAAs to one word at the routers
+// (combines == decombines by construction), and correctness never depends
+// on the knob — histories over a combining NoC stay linearizable, with and
+// without fault injection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <tuple>
+
+#include "arch/machine.hpp"
+#include "arch/params.hpp"
+#include "check/gen.hpp"
+#include "harness/history.hpp"
+#include "harness/record.hpp"
+#include "runtime/sim_context.hpp"
+#include "runtime/sim_executor.hpp"
+#include "sim/fault.hpp"
+
+namespace hmps {
+namespace {
+
+using rt::SimCtx;
+using rt::SimExecutor;
+
+/// `threads` fibers hammer one shared word with FAAs; returns
+/// (final value, end time, combines, decombines).
+std::tuple<std::uint64_t, sim::Cycle, std::uint64_t, std::uint64_t>
+hammer_faa(arch::MachineParams p, std::uint32_t threads, std::uint32_t reps) {
+  SimExecutor ex(p, 7);
+  std::atomic<std::uint64_t> word{0};
+  for (std::uint32_t i = 0; i < threads; ++i) {
+    ex.add_thread([&, reps](SimCtx& ctx) {
+      for (std::uint32_t k = 0; k < reps; ++k) ctx.faa(&word, 1);
+    });
+  }
+  ex.run_until(sim::kCycleMax);
+  const auto& c = ex.machine().coherence().combining().counters();
+  return {word.load(), ex.sched().now(), c.combines, c.decombines};
+}
+
+TEST(Combining, KnobOffLeavesCountersZeroAndTimingUnchanged) {
+  arch::MachineParams off = arch::MachineParams::tilegx36();
+  ASSERT_FALSE(off.noc_combining);  // default-off knob
+  const auto base = hammer_faa(off, 8, 40);
+  EXPECT_EQ(std::get<2>(base), 0u);
+  EXPECT_EQ(std::get<3>(base), 0u);
+  // Re-running the identical config reproduces the timeline exactly.
+  EXPECT_EQ(hammer_faa(off, 8, 40), base);
+}
+
+TEST(Combining, ConcurrentFaasCombineAndTelescope) {
+  arch::MachineParams p = arch::MachineParams::tilegx36();
+  p.noc_combining = true;
+  const auto r = hammer_faa(p, 8, 40);
+  // Functional result is exact regardless of merging.
+  EXPECT_EQ(std::get<0>(r), 8u * 40u);
+  // Overlapping requests to one word do merge at the routers, and every
+  // combined request decombines on the reply path (the CI telescoping
+  // invariant: a knob-on run can never leak a merged request).
+  EXPECT_GT(std::get<2>(r), 0u);
+  EXPECT_EQ(std::get<2>(r), std::get<3>(r));
+}
+
+TEST(Combining, CombiningNeverSlowsTheHammer) {
+  // Combined requests skip the line recall and the controller occupancy, so
+  // under heavy same-word contention the knob-on run finishes no later.
+  arch::MachineParams off = arch::MachineParams::tilegx36();
+  arch::MachineParams on = off;
+  on.noc_combining = true;
+  const auto r_off = hammer_faa(off, 12, 50);
+  const auto r_on = hammer_faa(on, 12, 50);
+  EXPECT_EQ(std::get<0>(r_off), std::get<0>(r_on));
+  EXPECT_LE(std::get<1>(r_on), std::get<1>(r_off));
+  EXPECT_GT(std::get<2>(r_on), 0u);
+}
+
+TEST(Combining, SingleThreadIsByteIdenticalUnderTheKnob) {
+  // One fiber's FAAs are strictly sequential: every root's reply window has
+  // closed before the next request departs, so nothing can merge and the
+  // knob must not move a single cycle.
+  arch::MachineParams off = arch::MachineParams::tilegx36();
+  arch::MachineParams on = off;
+  on.noc_combining = true;
+  const auto r_off = hammer_faa(off, 1, 60);
+  const auto r_on = hammer_faa(on, 1, 60);
+  EXPECT_EQ(std::get<0>(r_off), std::get<0>(r_on));
+  EXPECT_EQ(std::get<1>(r_off), std::get<1>(r_on));
+  EXPECT_EQ(std::get<2>(r_on), 0u);
+}
+
+// ---- linearizability over a combining NoC (docs/TESTING.md) ----
+
+sim::FaultPlan noisy_plan(std::uint64_t seed) {
+  sim::FaultPlan fp;
+  fp.seed = seed;
+  fp.delay_permille = 120;
+  fp.delay_min = 4;
+  fp.delay_max = 50;
+  fp.credit_period = 9'000;
+  fp.credit_duration = 2'500;
+  fp.credit_pct = 30;
+  return fp;
+}
+
+TEST(Combining, CounterHistoriesLinearizableUnderFaults) {
+  // Atomic-heavy constructions (their locks/tails are exchange/FAA words)
+  // over a combining NoC with message faults on top: merging is a latency
+  // optimization only and must never reorder observable effects.
+  for (const auto cons :
+       {harness::Construction::kCcSynch, harness::Construction::kMcsLock}) {
+    harness::RecordCfg cfg;
+    cfg.params = arch::MachineParams::tilegx_small(4, 2);
+    cfg.params.noc_combining = true;
+    cfg.construction = cons;
+    cfg.object = harness::Object::kCounter;
+    cfg.threads = 6;
+    cfg.ops_each = 12;
+    cfg.faults = noisy_plan(31);
+    cfg.seed = 11;
+    const auto res = harness::record_history(cfg);
+    ASSERT_TRUE(res.completed);
+    const auto chk = harness::check_counter_fast(res.history);
+    EXPECT_TRUE(chk.ok) << to_string(cons) << ": " << chk.reason;
+  }
+}
+
+TEST(Combining, QueueHistoriesLinearizableUnderFaults) {
+  harness::RecordCfg cfg;
+  cfg.params = arch::MachineParams::tilegx_small(4, 2);
+  cfg.params.noc_combining = true;
+  cfg.construction = harness::Construction::kCcSynch;
+  cfg.object = harness::Object::kQueue;
+  cfg.threads = 5;
+  cfg.ops_each = 14;
+  cfg.faults = noisy_plan(77);
+  cfg.seed = 5;
+  const auto res = harness::record_history(cfg);
+  ASSERT_TRUE(res.completed);
+  const auto chk = harness::check_queue_fast(res.history);
+  EXPECT_TRUE(chk.ok) << chk.reason;
+}
+
+TEST(Combining, FuzzMachinesDrawTheKnobDeterministically) {
+  // random_machine() appends the combining draw at the end of its stream,
+  // so all pre-existing parameters for a given seed are untouched and the
+  // knob itself replays deterministically.
+  bool saw_on = false, saw_off = false;
+  for (std::uint64_t s = 1; s <= 32; ++s) {
+    const arch::MachineParams a = check::random_machine(s);
+    const arch::MachineParams b = check::random_machine(s);
+    EXPECT_EQ(a.noc_combining, b.noc_combining);
+    (a.noc_combining ? saw_on : saw_off) = true;
+  }
+  EXPECT_TRUE(saw_on);
+  EXPECT_TRUE(saw_off);
+}
+
+}  // namespace
+}  // namespace hmps

@@ -8,7 +8,9 @@
 #include <tuple>
 #include <vector>
 
+#include "arch/noc.hpp"
 #include "arch/params.hpp"
+#include "arch/topology.hpp"
 #include "ds/counter.hpp"
 #include "harness/workload.hpp"
 #include "runtime/sim_context.hpp"
@@ -176,6 +178,43 @@ TEST(UdnCredit, FaultWindowCloseReleasesBlockedSender) {
   EXPECT_GT(burst_done, 0u) << "sender must not stay blocked forever";
   EXPECT_LT(burst_done, 40'000u)
       << "the window close, not the receiver, must release the sender";
+}
+
+// ---- NoC link jitter under contention (regression) ----
+
+TEST(LinkJitter, ContentionPathExtendsLinkHold) {
+  // Jitter on a hop must extend the link's reservation, not only the
+  // jittered message's own arrival: a later message crossing the same link
+  // has to queue behind the jitter. Before the fix the contention path
+  // added hop jitter to the head latency only, so jittered runs were
+  // indistinguishable from clean ones for every *other* message — this
+  // test fails on that code with jit.second == clean.second + 1.
+  arch::MachineParams p = arch::MachineParams::tilegx_small(2, 1);
+  p.model_link_contention = true;
+  arch::MeshTopology topo(p);
+  sim::Scheduler sched;
+  sim::FaultInjector fi(sched);
+  sim::FaultPlan fp;
+  fp.seed = 9;
+  fp.jitter_permille = 1000;  // every hop draw hits...
+  fp.jitter_max = 1;          // ...and adds exactly 1 + below(1) = 1 cycle
+  fi.install(fp, p.cores());
+  auto arrivals = [&](sim::FaultInjector* f) {
+    arch::NocModel noc(p, topo);
+    if (f) noc.attach_faults(f);
+    // Two back-to-back 3-word messages over the single east link of the
+    // 2x1 mesh, both injected at t = 0: the second queues behind the first.
+    const sim::Cycle a1 = noc.route(0, 1, 0, 3);
+    const sim::Cycle a2 = noc.route(0, 1, 0, 3);
+    return std::make_pair(a1, a2);
+  };
+  const auto clean = arrivals(nullptr);
+  const auto jit = arrivals(&fi);
+  // First message: only its own hop jitter.
+  EXPECT_EQ(jit.first, clean.first + 1);
+  // Second message: the first message's jittered hold plus its own jitter.
+  EXPECT_EQ(jit.second, clean.second + 2)
+      << "link hold must absorb the jitter so later messages queue behind it";
 }
 
 // ---- Section 6 overflow guards ----

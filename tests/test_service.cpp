@@ -137,9 +137,23 @@ TEST(ZipfSampler, ZeroExponentIsUniform) {
 
 // ---- reservoir vs exact offline sort --------------------------------------
 
+// Offline reference: linear interpolation between adjacent order
+// statistics of a sorted vector (R type-7), same definition as
+// Reservoir::quantile but computed from the full stream.
+std::uint64_t offline_quantile(const std::vector<std::uint64_t>& sorted,
+                               double q) {
+  const double r = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t i = static_cast<std::size_t>(r);
+  if (i >= sorted.size() - 1) return sorted.back();
+  const double frac = r - static_cast<double>(i);
+  const double lo = static_cast<double>(sorted[i]);
+  const double hi = static_cast<double>(sorted[i + 1]);
+  return static_cast<std::uint64_t>(lo + (hi - lo) * frac);
+}
+
 TEST(Reservoir, ExactQuantilesUnderCapacity) {
   // Below capacity the reservoir keeps every sample, so p50/p99/p999 must
-  // equal the exact nearest-rank quantiles of an offline sort.
+  // equal the exact interpolated quantiles of an offline sort.
   sim::Reservoir res;
   std::vector<std::uint64_t> all;
   sim::Xoshiro256 rng(17);
@@ -152,18 +166,43 @@ TEST(Reservoir, ExactQuantilesUnderCapacity) {
     all.push_back(v);
   }
   std::sort(all.begin(), all.end());
-  auto exact = [&](double q) {
-    const double r = q * static_cast<double>(all.size() - 1);
-    std::size_t i = static_cast<std::size_t>(r + 0.5);
-    if (i >= all.size()) i = all.size() - 1;
-    return all[i];
-  };
   EXPECT_EQ(res.count(), all.size());
   EXPECT_EQ(res.kept(), all.size());
-  EXPECT_EQ(res.quantile(0.5), exact(0.5));
-  EXPECT_EQ(res.quantile(0.99), exact(0.99));
-  EXPECT_EQ(res.quantile(0.999), exact(0.999));
+  EXPECT_EQ(res.quantile(0.5), offline_quantile(all, 0.5));
+  EXPECT_EQ(res.quantile(0.99), offline_quantile(all, 0.99));
+  EXPECT_EQ(res.quantile(0.999), offline_quantile(all, 0.999));
   EXPECT_EQ(res.quantile(1.0), all.back());
+}
+
+TEST(Reservoir, DecimationBoundaryMatchesOfflineSort) {
+  // The regression this pins: at 2^16 + 1 arrivals the default-capacity
+  // reservoir halves for the first time (32769 kept samples), and the old
+  // nearest-rank rounding was off by one sample against the offline sort
+  // whenever frac(q * (n - 1)) landed in [0.25, 0.5) — e.g. p99 of the
+  // monotone stream 0..65536 came back 64880 instead of 64881 (the exact
+  // rank is 64880.64). Interpolated quantiles of the stride-2 thinning
+  // reproduce the offline interpolated quantiles exactly, at the boundary
+  // sizes 2^16 - 1 (exact, no decimation), 2^16 (exactly full) and
+  // 2^16 + 1 (first halving).
+  for (const std::uint64_t n :
+       {(std::uint64_t{1} << 16) - 1, std::uint64_t{1} << 16,
+        (std::uint64_t{1} << 16) + 1}) {
+    sim::Reservoir res;  // default capacity 2^16
+    std::vector<std::uint64_t> all;
+    all.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      res.add(i);  // monotone: every value is its own rank
+      all.push_back(i);
+    }
+    EXPECT_EQ(res.count(), n);
+    EXPECT_EQ(res.kept(), n <= (std::uint64_t{1} << 16)
+                              ? static_cast<std::size_t>(n)
+                              : std::size_t{32769});
+    for (const double q : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+      EXPECT_EQ(res.quantile(q), offline_quantile(all, q))
+          << "n=" << n << " q=" << q;
+    }
+  }
 }
 
 TEST(Reservoir, DecimationStaysDeterministicAndClose) {

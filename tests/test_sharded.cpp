@@ -252,6 +252,83 @@ TEST(ShardedCapacity, TwoShardsTimes64ClientsNoCapacityAbort) {
   EXPECT_EQ(sh.inflight_total(), 0u);
 }
 
+// ---- tag-field hard bounds --------------------------------------------
+
+struct OneCounterFarm {
+  ds::SeqCounter* c;
+  static std::uint64_t inc(SimCtx& ctx, void* o, std::uint64_t) {
+    return ds::counter_inc(ctx, static_cast<OneCounterFarm*>(o)->c, 0);
+  }
+};
+
+TEST(ShardedTagBounds, SeqWrapsCleanlyWithNothingOutstanding) {
+  // Drive one client's per-shard sequence to the last representable value:
+  // the next issue uses seq == kSeqMask, the one after wraps back to 1 —
+  // legal because no ticket from the previous epoch is outstanding.
+  arch::MachineParams p = arch::MachineParams::tilegx_small(4, 2);
+  SimExecutor ex(p, 5);
+  ds::SeqCounter counter;
+  OneCounterFarm farm{&counter};
+  Sharded sh(2, &farm, 8);
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    ex.add_thread([&sh, s](SimCtx& ctx) { sh.serve(ctx, s); });
+  }
+  std::vector<std::uint64_t> seqs;
+  ex.add_thread([&](SimCtx& ctx) {
+    const std::uint32_t shard = sh.shard_home(0);
+    sh.debug_set_seq(0, shard, Sharded::kSeqMask);
+    for (int i = 0; i < 3; ++i) {
+      sync::Ticket t = sh.apply_async(ctx, &OneCounterFarm::inc, 0, 0);
+      seqs.push_back(t.tag & Sharded::kSeqMask);
+      sh.wait(ctx, t);  // reap before the next issue: the epoch is clean
+    }
+    sh.request_stop(ctx);
+  });
+  ex.run_until(sim::kCycleMax);
+  ASSERT_EQ(seqs.size(), 3u);
+  EXPECT_EQ(seqs[0], Sharded::kSeqMask) << "boundary value must be usable";
+  EXPECT_EQ(seqs[1], 1u) << "wrap restarts at 1 (tags stay nonzero)";
+  EXPECT_EQ(seqs[2], 2u);
+  EXPECT_EQ(counter.value.load(), 3u);
+}
+
+using ShardedDeathTest = ::testing::Test;
+
+TEST(ShardedDeathTest, MoreThanMaxShardsAborts) {
+  // A 33rd shard would spill out of tag bits [30:26]; the constructor must
+  // die instead of silently colliding credits in release builds.
+  ds::SeqCounter c;
+  OneCounterFarm farm{&c};
+  EXPECT_DEATH(Sharded sh(Sharded::kMaxShards + 1, &farm, 8),
+               "exceed the 32-shard tag field");
+}
+
+TEST(ShardedDeathTest, SeqWraparoundWithOutstandingTicketAborts) {
+  // Wrapping the 26-bit sequence while a previous-epoch ticket is still
+  // outstanding on the same shard would recycle a live tag.
+  EXPECT_DEATH(
+      {
+        arch::MachineParams p = arch::MachineParams::tilegx_small(4, 2);
+        SimExecutor ex(p, 5);
+        ds::SeqCounter counter;
+        OneCounterFarm farm{&counter};
+        Sharded sh(2, &farm, 8);
+        for (std::uint32_t s = 0; s < 2; ++s) {
+          ex.add_thread([&sh, s](SimCtx& ctx) { sh.serve(ctx, s); });
+        }
+        ex.add_thread([&](SimCtx& ctx) {
+          const std::uint32_t shard = sh.shard_home(0);
+          (void)sh.apply_async(ctx, &OneCounterFarm::inc, 0, 0);
+          sh.debug_set_seq(0, shard, Sharded::kSeqMask + 1);
+          sh.apply_async(ctx, &OneCounterFarm::inc, 0, 0);  // must abort
+          sh.wait_all(ctx);
+          sh.request_stop(ctx);
+        });
+        ex.run_until(sim::kCycleMax);
+      },
+      "recycled tags would collide");
+}
+
 // ---- serial vs pooled artifact identity -------------------------------
 
 std::string slurp(const std::string& path) {
